@@ -1,0 +1,114 @@
+// Command datagen writes synthetic update-stream files in the repository's
+// SKS1 binary format, for use with cmd/skimjoin.
+//
+// Usage:
+//
+//	datagen -kind zipf -out f.sks -domain 262144 -n 4000000 -zipf 1.0
+//	datagen -kind zipf -out g.sks -domain 262144 -n 4000000 -zipf 1.0 -shift 100 -seed 2
+//	datagen -kind uniform -out u.sks -domain 1024 -n 100000
+//	datagen -kind census -out wage.sks -out2 overtime.sks -n 159434
+//
+// The -deletes flag interleaves insert/delete noise that leaves the net
+// frequency vector unchanged, for exercising the general-update path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "zipf", "workload: zipf|uniform|census")
+		out     = flag.String("out", "", "output stream file (required)")
+		out2    = flag.String("out2", "", "second output file (census only: overtime stream)")
+		domain  = flag.Uint64("domain", 1<<18, "value domain size m")
+		n       = flag.Int("n", 1000000, "number of stream elements")
+		zipf    = flag.Float64("zipf", 1.0, "zipf skew parameter z")
+		shift   = flag.Uint64("shift", 0, "right-shift applied to generated values")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		deletes = flag.Float64("deletes", 0, "fraction of insert/delete noise to interleave")
+		format  = flag.String("format", "binary", "output format: binary (SKS1) or text (value[,weight] lines)")
+	)
+	flag.Parse()
+
+	if err := run(*kind, *out, *out2, *domain, *n, *zipf, *shift, *seed, *deletes, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, out, out2 string, domain uint64, n int, zipf float64, shift uint64, seed int64, deletes float64, format string) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if n <= 0 {
+		return fmt.Errorf("-n must be positive")
+	}
+	writeStream := func(path string, d uint64, updates []stream.Update) error {
+		switch format {
+		case "binary":
+			return stream.WriteFile(path, d, updates)
+		case "text":
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := stream.WriteText(f, updates); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		default:
+			return fmt.Errorf("unknown -format %q", format)
+		}
+	}
+
+	switch kind {
+	case "zipf", "uniform":
+		var gen workload.Generator
+		var err error
+		if kind == "zipf" {
+			gen, err = workload.NewZipf(domain, zipf, seed)
+			if err != nil {
+				return err
+			}
+		} else {
+			gen = workload.NewUniform(domain, seed)
+		}
+		if shift > 0 {
+			gen = workload.NewShifted(gen, shift)
+		}
+		updates := workload.MakeStream(gen, n)
+		if deletes > 0 {
+			updates = workload.WithDeletes(updates, deletes, seed+1)
+		}
+		if err := writeStream(out, domain, updates); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d updates over domain %d to %s\n", len(updates), domain, out)
+		return nil
+
+	case "census":
+		if out2 == "" {
+			return fmt.Errorf("-out2 is required for -kind census (the overtime stream)")
+		}
+		wage, overtime := workload.CensusPair(n, seed)
+		if err := writeStream(out, workload.CensusDomain, wage); err != nil {
+			return err
+		}
+		if err := writeStream(out2, workload.CensusDomain, overtime); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d wage records to %s and %d overtime records to %s (domain %d)\n",
+			len(wage), out, len(overtime), out2, workload.CensusDomain)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown -kind %q", kind)
+	}
+}

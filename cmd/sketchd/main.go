@@ -1,0 +1,52 @@
+// Command sketchd serves the stream query-processing engine over HTTP:
+// declare streams, register continuous join-aggregate queries, push
+// updates, and read approximate answers — the paper's Figure 1
+// architecture as a network service.
+//
+//	sketchd -addr :8080 -tables 7 -buckets 2048 -seed 42
+//
+// API (JSON bodies, JSON responses):
+//
+//	POST   /streams     {"name":"F","domain":262144}
+//	POST   /predicates  {"name":"small","min":0,"max":4095}     (value range)
+//	POST   /queries     {"name":"q","agg":"COUNT",
+//	                     "left":{"stream":"F","predicate":"small"},
+//	                     "right":{"stream":"G","windowLen":100000,"windowBuckets":4}}
+//	DELETE /queries/q
+//	POST   /update      {"stream":"F","value":7,"weight":1}
+//	                    or a JSON array of such objects (batch)
+//	GET    /answer?query=q
+//	GET    /stats
+//	GET    /snapshot    (checkpoint: engine state as JSON)
+//	POST   /restore     (load a snapshot into an empty engine)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/engine"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		tables  = flag.Int("tables", 7, "default sketch tables d")
+		buckets = flag.Int("buckets", 2048, "default sketch buckets b")
+		seed    = flag.Uint64("seed", 42, "default sketch seed")
+	)
+	flag.Parse()
+
+	eng, err := engine.New(engine.Options{
+		SketchConfig: core.Config{Tables: *tables, Buckets: *buckets, Seed: *seed},
+	})
+	if err != nil {
+		log.Fatal("sketchd: ", err)
+	}
+	srv := newServer(eng)
+	fmt.Printf("sketchd listening on %s (default sketch %dx%d)\n", *addr, *tables, *buckets)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"skimsketch/internal/engine"
+)
+
+// server wraps an engine with the HTTP API.
+type server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+func newServer(eng *engine.Engine) *server {
+	s := &server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/streams", s.handleStreams)
+	s.mux.HandleFunc("/predicates", s.handlePredicates)
+	s.mux.HandleFunc("/queries", s.handleQueries)
+	s.mux.HandleFunc("/queries/", s.handleQueryByName)
+	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/answer", s.handleAnswer)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/restore", s.handleRestore)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr renders an error payload.
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decode parses the request body into v.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+type streamReq struct {
+	Name   string `json:"name"`
+	Domain uint64 `json:"domain"`
+}
+
+func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req streamReq
+		if err := decode(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.eng.DeclareStream(req.Name, req.Domain); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"streams": s.eng.Streams()})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST or GET"))
+	}
+}
+
+// predicateReq describes a value-range predicate [min, max], the
+// predicate form expressible over the wire.
+type predicateReq struct {
+	Name string `json:"name"`
+	Min  uint64 `json:"min"`
+	Max  uint64 `json:"max"`
+}
+
+func (s *server) handlePredicates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req predicateReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Max < req.Min {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("max %d below min %d", req.Max, req.Min))
+		return
+	}
+	min, max := req.Min, req.Max
+	err := s.eng.RegisterPredicate(req.Name, func(v uint64, _ int64) bool {
+		return v >= min && v <= max
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+}
+
+type sideReq struct {
+	Stream        string `json:"stream"`
+	Predicate     string `json:"predicate,omitempty"`
+	WindowLen     int64  `json:"windowLen,omitempty"`
+	WindowBuckets int    `json:"windowBuckets,omitempty"`
+}
+
+type queryReq struct {
+	Name  string  `json:"name"`
+	Agg   string  `json:"agg"`
+	Left  sideReq `json:"left"`
+	Right sideReq `json:"right"`
+}
+
+func (s *server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req queryReq
+		if err := decode(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var agg engine.Aggregate
+		switch strings.ToUpper(req.Agg) {
+		case "COUNT", "":
+			agg = engine.Count
+		case "SUM":
+			agg = engine.Sum
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown aggregate %q", req.Agg))
+			return
+		}
+		spec := engine.QuerySpec{
+			Name:  req.Name,
+			Agg:   agg,
+			Left:  engine.Side(req.Left),
+			Right: engine.Side(req.Right),
+		}
+		if err := s.eng.RegisterQuery(spec); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"queries": s.eng.Queries()})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST or GET"))
+	}
+}
+
+func (s *server) handleQueryByName(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/queries/")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing query name"))
+		return
+	}
+	if r.Method != http.MethodDelete {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use DELETE"))
+		return
+	}
+	if err := s.eng.RemoveQuery(name); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type updateReq struct {
+	Stream string `json:"stream"`
+	Value  uint64 `json:"value"`
+	Weight int64  `json:"weight"`
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	// Accept a single object or a batch array.
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var batch []updateReq
+	if err := json.Unmarshal(body, &batch); err != nil {
+		var one updateReq
+		if err := json.Unmarshal(body, &one); err != nil {
+			writeErr(w, http.StatusBadRequest, errors.New("expected a JSON update object or array of them"))
+			return
+		}
+		batch = []updateReq{one}
+	}
+	for i, u := range batch {
+		weight := u.Weight
+		if weight == 0 {
+			weight = 1 // bare inserts may omit the weight
+		}
+		if err := s.eng.Update(u.Stream, u.Value, weight); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("update %d: %w", i, err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"applied": len(batch)})
+}
+
+func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	name := r.URL.Query().Get("query")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?query="))
+		return
+	}
+	ans, err := s.eng.Answer(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":    ans.Query,
+		"agg":      ans.Agg.String(),
+		"estimate": ans.Estimate,
+		"detail": map[string]any{
+			"denseDense":   ans.Detail.DenseDense,
+			"denseSparse":  ans.Detail.DenseSparse,
+			"sparseDense":  ans.Detail.SparseDense,
+			"sparseSparse": ans.Detail.SparseSparse,
+			"denseCountF":  ans.Detail.DenseCountF,
+			"denseCountG":  ans.Detail.DenseCountG,
+		},
+	})
+}
+
+// handleSnapshot streams the engine state (streams, queries, synopsis
+// counters) as the engine's JSON snapshot format — the checkpoint side
+// of a restart.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.eng.Snapshot(w); err != nil {
+		// Headers are gone; best effort.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	}
+}
+
+// handleRestore loads a snapshot into the (empty) engine. Range
+// predicates registered via /predicates must be re-registered before
+// restoring a snapshot that references them.
+func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	if err := s.eng.Restore(r.Body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"streams":      st.Streams,
+		"queries":      st.Queries,
+		"synopses":     st.Synopses,
+		"synopsisRefs": st.SynopsisRefs,
+		"totalWords":   st.TotalWords,
+		"updateCounts": st.UpdateCounts,
+	})
+}

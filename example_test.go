@@ -1,0 +1,65 @@
+package skimsketch_test
+
+import (
+	"fmt"
+
+	"skimsketch"
+)
+
+// The canonical flow: build a pair of sketches with one Config, stream
+// updates into each side, and estimate the join size. All randomness is
+// derived from the seed, so the example output is reproducible.
+func ExampleJoinPair() {
+	pair, err := skimsketch.NewJoinPair(1024, skimsketch.Config{Tables: 5, Buckets: 64, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// Stream F: value 7 appears 100 times. Stream G: 40 times.
+	for i := 0; i < 100; i++ {
+		pair.UpdateF(7, 1)
+	}
+	for i := 0; i < 40; i++ {
+		pair.UpdateG(7, 1)
+	}
+	est, err := pair.Estimate()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("estimate:", est.Total)
+	// Output: estimate: 4000
+}
+
+// Deletions are negative weights; a deleted element leaves no trace in
+// the synopsis (sketch linearity).
+func ExampleEstimateJoin_deletes() {
+	cfg := skimsketch.Config{Tables: 5, Buckets: 64, Seed: 2}
+	f, _ := skimsketch.New(cfg)
+	g, _ := skimsketch.New(cfg)
+	f.Update(3, 10)
+	f.Update(99, 5)
+	f.Update(99, -5) // retract all 99s
+	g.Update(3, 6)
+	est, err := skimsketch.EstimateJoin(f, g, 128)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("estimate:", est.Total)
+	// Output: estimate: 60
+}
+
+// SUM aggregates are COUNT queries over measure-weighted updates: weight
+// each G-side element by its measure.
+func ExampleEstimateJoin_sum() {
+	cfg := skimsketch.Config{Tables: 5, Buckets: 64, Seed: 3}
+	facts, _ := skimsketch.New(cfg)
+	revenue, _ := skimsketch.New(cfg)
+	facts.Update(42, 1)     // one subscriber interested in product 42
+	revenue.Update(42, 250) // a sale of product 42 worth 250
+	revenue.Update(42, 120) // another worth 120
+	est, err := skimsketch.EstimateJoin(facts, revenue, 128)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("SUM estimate:", est.Total)
+	// Output: SUM estimate: 370
+}

@@ -1,0 +1,3 @@
+module skimsketch
+
+go 1.22

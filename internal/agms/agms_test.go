@@ -1,0 +1,249 @@
+package agms
+
+import (
+	"math"
+	"testing"
+
+	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5, 1); err == nil {
+		t.Fatal("expected error for s1=0")
+	}
+	if _, err := New(5, -1, 1); err == nil {
+		t.Fatal("expected error for negative s2")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(0, 0, 1)
+}
+
+func TestAccessors(t *testing.T) {
+	s := MustNew(4, 3, 9)
+	if s.Words() != 12 {
+		t.Fatalf("Words = %d", s.Words())
+	}
+	if a, b := s.Dims(); a != 4 || b != 3 {
+		t.Fatalf("Dims = %d,%d", a, b)
+	}
+	if s.Seed() != 9 {
+		t.Fatalf("Seed = %d", s.Seed())
+	}
+}
+
+func TestPairSharesFamilies(t *testing.T) {
+	a := MustNew(3, 3, 7)
+	b := MustNew(3, 3, 7)
+	if !a.Compatible(b) {
+		t.Fatal("same config must be compatible")
+	}
+	// Same single update must produce identical counters.
+	a.Update(42, 1)
+	b.Update(42, 1)
+	for q := 0; q < 3; q++ {
+		for j := 0; j < 3; j++ {
+			if a.AtomicSketch(q, j) != b.AtomicSketch(q, j) {
+				t.Fatal("paired sketches must evolve identically on identical input")
+			}
+		}
+	}
+	c := MustNew(3, 3, 8)
+	if a.Compatible(c) {
+		t.Fatal("different seeds must be incompatible")
+	}
+}
+
+func TestUpdateDeleteCancels(t *testing.T) {
+	s := MustNew(5, 5, 3)
+	s.Update(10, 1)
+	s.Update(11, 7)
+	s.Update(10, -1)
+	s.Update(11, -7)
+	for q := 0; q < 5; q++ {
+		for j := 0; j < 5; j++ {
+			if s.AtomicSketch(q, j) != 0 {
+				t.Fatal("deletes must exactly cancel inserts (linearity)")
+			}
+		}
+	}
+}
+
+func TestSelfJoinExactForSingleValue(t *testing.T) {
+	// With one distinct value, every atomic sketch is ±f, so X² = f²
+	// exactly and the estimate must be exact.
+	s := MustNew(4, 5, 2)
+	for i := 0; i < 9; i++ {
+		s.Update(123, 1)
+	}
+	if got := s.SelfJoinEstimate(); got != 81 {
+		t.Fatalf("SelfJoinEstimate = %d, want 81", got)
+	}
+}
+
+func TestJoinEstimateIncompatible(t *testing.T) {
+	a := MustNew(2, 2, 1)
+	b := MustNew(2, 2, 2)
+	if _, err := JoinEstimate(a, b); err == nil {
+		t.Fatal("expected pairing error")
+	}
+}
+
+func TestJoinExactForSingleSharedValue(t *testing.T) {
+	a := MustNew(3, 3, 5)
+	b := MustNew(3, 3, 5)
+	for i := 0; i < 4; i++ {
+		a.Update(7, 1)
+	}
+	for i := 0; i < 6; i++ {
+		b.Update(7, 1)
+	}
+	got, err := JoinEstimate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 24 {
+		t.Fatalf("JoinEstimate = %d, want 24 (ξ(7)² = 1 makes this exact)", got)
+	}
+}
+
+// TestSelfJoinAccuracy: with enough space the F2 estimate should land
+// within the AMS error bound comfortably.
+func TestSelfJoinAccuracy(t *testing.T) {
+	g, err := workload.NewZipf(1<<12, 1.0, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := workload.MakeStream(g, 50000)
+	f := stream.NewFreqVector()
+	sk := MustNew(64, 7, 99)
+	stream.Apply(updates, f, sk)
+	exact := float64(f.SelfJoinSize())
+	got := float64(sk.SelfJoinEstimate())
+	if e := stats.SymmetricError(got, exact); e > 0.35 {
+		t.Fatalf("self-join error %.3f too large (est %.0f vs exact %.0f)", e, got, exact)
+	}
+}
+
+// TestJoinAccuracy: basic sketching on a moderately-skewed join.
+func TestJoinAccuracy(t *testing.T) {
+	const m = 1 << 12
+	gf, _ := workload.NewZipf(m, 1.0, 31)
+	gg, _ := workload.NewZipf(m, 1.0, 32)
+	fs := workload.MakeStream(gf, 40000)
+	gs := workload.MakeStream(workload.NewShifted(gg, 5), 40000)
+
+	fv, gv := stream.NewFreqVector(), stream.NewFreqVector()
+	fsk := MustNew(128, 7, 4242)
+	gsk := MustNew(128, 7, 4242)
+	stream.Apply(fs, fv, fsk)
+	stream.Apply(gs, gv, gsk)
+
+	exact := float64(fv.InnerProduct(gv))
+	est, err := JoinEstimate(fsk, gsk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.SymmetricError(float64(est), exact); e > 1.0 {
+		t.Fatalf("join error %.3f too large (est %d vs exact %.0f)", e, est, exact)
+	}
+}
+
+// TestJoinUnbiasedAcrossSeeds: the mean of many independent estimates
+// should approach the exact join size much more closely than any single
+// estimate's error bound.
+func TestJoinUnbiasedAcrossSeeds(t *testing.T) {
+	const m = 256
+	gf, _ := workload.NewZipf(m, 1.0, 41)
+	gg, _ := workload.NewZipf(m, 1.0, 42)
+	fs := workload.MakeStream(gf, 5000)
+	gs := workload.MakeStream(gg, 5000)
+	fv, gv := stream.NewFreqVector(), stream.NewFreqVector()
+	stream.Apply(fs, fv)
+	stream.Apply(gs, gv)
+	exact := float64(fv.InnerProduct(gv))
+
+	var w stats.Welford
+	for seed := uint64(0); seed < 40; seed++ {
+		fsk := MustNew(32, 1, seed)
+		gsk := MustNew(32, 1, seed)
+		stream.Apply(fs, fsk)
+		stream.Apply(gs, gsk)
+		est, err := JoinEstimate(fsk, gsk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Add(float64(est))
+	}
+	if math.Abs(w.Mean()-exact)/exact > 0.15 {
+		t.Fatalf("mean estimate %.0f drifts from exact %.0f: estimator looks biased", w.Mean(), exact)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a := MustNew(8, 3, 1)
+	b := MustNew(8, 3, 1)
+	c := MustNew(8, 3, 1)
+	a.Update(5, 2)
+	b.Update(9, 3)
+	// c sees the concatenated stream.
+	c.Update(5, 2)
+	c.Update(9, 3)
+	if err := a.Combine(b); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 3; q++ {
+		for j := 0; j < 8; j++ {
+			if a.AtomicSketch(q, j) != c.AtomicSketch(q, j) {
+				t.Fatal("Combine must equal sketching the concatenated stream")
+			}
+		}
+	}
+	d := MustNew(8, 3, 2)
+	if err := a.Combine(d); err == nil {
+		t.Fatal("expected incompatibility error")
+	}
+}
+
+func TestCloneAndReset(t *testing.T) {
+	s := MustNew(2, 2, 1)
+	s.Update(1, 5)
+	c := s.Clone()
+	s.Reset()
+	if s.AtomicSketch(0, 0) != 0 {
+		t.Fatal("Reset must zero counters")
+	}
+	if c.AtomicSketch(0, 0) == 0 && c.AtomicSketch(0, 1) == 0 &&
+		c.AtomicSketch(1, 0) == 0 && c.AtomicSketch(1, 1) == 0 {
+		t.Fatal("Clone must not alias the original counters")
+	}
+}
+
+func TestSketchLinearityProperty(t *testing.T) {
+	// sketch(stream1 ++ stream2) == sketch(stream1) + sketch(stream2)
+	s1 := MustNew(4, 3, 77)
+	s2 := MustNew(4, 3, 77)
+	both := MustNew(4, 3, 77)
+	u1 := []stream.Update{{Value: 3, Weight: 2}, {Value: 9, Weight: -1}}
+	u2 := []stream.Update{{Value: 3, Weight: -2}, {Value: 100, Weight: 5}}
+	stream.Apply(u1, s1, both)
+	stream.Apply(u2, s2, both)
+	if err := s1.Combine(s2); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 3; q++ {
+		for j := 0; j < 4; j++ {
+			if s1.AtomicSketch(q, j) != both.AtomicSketch(q, j) {
+				t.Fatal("linearity violated")
+			}
+		}
+	}
+}

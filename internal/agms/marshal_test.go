@@ -1,0 +1,58 @@
+package agms
+
+import "testing"
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := MustNew(8, 3, 42)
+	s.Update(7, 5)
+	s.Update(9, -2)
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Sketch
+	if err := r.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Compatible(s) {
+		t.Fatal("restored sketch must be compatible with the original")
+	}
+	for q := 0; q < 3; q++ {
+		for j := 0; j < 8; j++ {
+			if r.AtomicSketch(q, j) != s.AtomicSketch(q, j) {
+				t.Fatal("counters must round-trip")
+			}
+		}
+	}
+	// Restored sketches keep working as join pairs.
+	if err := r.Combine(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	s := MustNew(2, 2, 1)
+	blob, _ := s.MarshalBinary()
+	var r Sketch
+	if err := r.UnmarshalBinary(blob[:8]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	bad := append([]byte{}, blob...)
+	bad[1] = 'x'
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Fatal("expected magic error")
+	}
+	bad = append([]byte{}, blob...)
+	bad[4] = 9
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Fatal("expected version error")
+	}
+	if err := r.UnmarshalBinary(blob[:len(blob)-3]); err == nil {
+		t.Fatal("expected length error")
+	}
+	bad = append([]byte{}, blob...)
+	bad[8], bad[9], bad[10], bad[11] = 0, 0, 0, 0
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

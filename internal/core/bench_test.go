@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+func benchSketch(b *testing.B, c Config, n int) *HashSketch {
+	b.Helper()
+	s := MustNewHashSketch(c)
+	z, _ := workload.NewZipf(1<<14, 1.2, 1)
+	stream.Apply(workload.MakeStream(z, n), s)
+	return s
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	s := MustNewHashSketch(cfg(7, 1024, 1))
+	z, _ := workload.NewZipf(1<<14, 1.2, 1)
+	vs := make([]uint64, 4096)
+	for i := range vs {
+		vs[i] = z.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(vs[i&4095], 1)
+	}
+}
+
+func BenchmarkPointEstimate7Tables(b *testing.B) {
+	s := benchSketch(b, cfg(7, 1024, 1), 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PointEstimate(uint64(i & 16383))
+	}
+}
+
+func BenchmarkSelfJoinEstimate(b *testing.B) {
+	s := benchSketch(b, cfg(7, 1024, 1), 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SelfJoinEstimate()
+	}
+}
+
+func BenchmarkSkimDense(b *testing.B) {
+	s := benchSketch(b, cfg(7, 1024, 1), 100000)
+	thr := s.DefaultSkimThreshold()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := s.Clone()
+		if _, err := c.SkimDense(1<<14, thr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateJoin(b *testing.B) {
+	f := benchSketch(b, cfg(7, 1024, 9), 100000)
+	g := benchSketch(b, cfg(7, 1024, 9), 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateJoin(f, g, 1<<14, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	s := benchSketch(b, cfg(7, 1024, 1), 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Clone()
+	}
+}
+
+func BenchmarkMarshalRoundTrip(b *testing.B) {
+	s := benchSketch(b, cfg(7, 1024, 1), 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var r HashSketch
+		if err := r.UnmarshalBinary(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+// FuzzUnmarshalBinary feeds arbitrary bytes to the sketch decoder; it
+// must reject garbage with an error, never panic, and accept its own
+// output.
+func FuzzUnmarshalBinary(f *testing.F) {
+	s := MustNewHashSketch(Config{Tables: 3, Buckets: 8, Seed: 1})
+	s.Update(3, 5)
+	blob, _ := s.MarshalBinary()
+	f.Add(blob)
+	f.Add(blob[:20])
+	f.Add([]byte("SKHSgarbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r HashSketch
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Anything accepted must be a structurally sound sketch.
+		cfg := r.Config()
+		if cfg.Tables <= 0 || cfg.Buckets <= 0 {
+			t.Fatalf("accepted sketch with bad config %+v", cfg)
+		}
+		// Re-marshalling an accepted sketch must succeed and re-decode.
+		blob2, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r2 HashSketch
+		if err := r2.UnmarshalBinary(blob2); err != nil {
+			t.Fatalf("self-output rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"skimsketch/internal/stream"
+)
+
+// Property-based tests (testing/quick) pinning down the algebraic
+// invariants the estimator's correctness rests on: linearity of the
+// sketch transform, exact invertibility of skimming, and consistency of
+// the decomposed estimate.
+
+// miniStream turns fuzz input into a bounded update stream.
+func miniStream(vals []uint16, weights []int8) []stream.Update {
+	us := make([]stream.Update, 0, len(vals))
+	for i, v := range vals {
+		w := int64(1)
+		if i < len(weights) {
+			w = int64(weights[i])
+		}
+		if w == 0 {
+			w = 1
+		}
+		us = append(us, stream.Update{Value: uint64(v % 512), Weight: w})
+	}
+	return us
+}
+
+// Property: sketching is a linear map — sketch(A ++ B) = sketch(A) + sketch(B),
+// for arbitrary signed update streams.
+func TestQuickLinearity(t *testing.T) {
+	c := cfg(3, 32, 99)
+	f := func(v1 []uint16, w1 []int8, v2 []uint16, w2 []int8) bool {
+		a := MustNewHashSketch(c)
+		b := MustNewHashSketch(c)
+		both := MustNewHashSketch(c)
+		u1, u2 := miniStream(v1, w1), miniStream(v2, w2)
+		stream.Apply(u1, a, both)
+		stream.Apply(u2, b, both)
+		if err := a.Combine(b); err != nil {
+			return false
+		}
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 32; k++ {
+				if a.Counter(j, k) != both.Counter(j, k) {
+					return false
+				}
+			}
+		}
+		return a.NetCount() == both.NetCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: update order never matters (commutativity of the transform).
+func TestQuickOrderInvariance(t *testing.T) {
+	c := cfg(3, 32, 7)
+	f := func(vals []uint16, weights []int8) bool {
+		us := miniStream(vals, weights)
+		fwd := MustNewHashSketch(c)
+		rev := MustNewHashSketch(c)
+		stream.Apply(us, fwd)
+		for i := len(us) - 1; i >= 0; i-- {
+			rev.Update(us[i].Value, us[i].Weight)
+		}
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 32; k++ {
+				if fwd.Counter(j, k) != rev.Counter(j, k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Skim then Unskim restores the counters exactly, for any
+// stream and any positive threshold.
+func TestQuickSkimUnskimIdentity(t *testing.T) {
+	c := cfg(5, 16, 3)
+	f := func(vals []uint16, weights []int8, thrRaw uint8) bool {
+		s := MustNewHashSketch(c)
+		stream.Apply(miniStream(vals, weights), s)
+		before := s.Clone()
+		thr := int64(thrRaw%32) + 1
+		dense, err := s.SkimDenseSigned(512, thr)
+		if err != nil {
+			return false
+		}
+		s.Unskim(dense)
+		for j := 0; j < 5; j++ {
+			for k := 0; k < 16; k++ {
+				if s.Counter(j, k) != before.Counter(j, k) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the estimate's Total always equals the sum of its reported
+// components, and the no-skim estimate is pure sparse×sparse.
+func TestQuickDecompositionConsistency(t *testing.T) {
+	c := cfg(3, 16, 11)
+	f := func(v1 []uint16, w1 []int8, v2 []uint16, w2 []int8) bool {
+		fs := MustNewHashSketch(c)
+		gs := MustNewHashSketch(c)
+		stream.Apply(miniStream(v1, w1), fs)
+		stream.Apply(miniStream(v2, w2), gs)
+		est, err := EstimateJoin(fs, gs, 512, nil)
+		if err != nil {
+			return false
+		}
+		if est.Total != est.DenseDense+est.DenseSparse+est.SparseDense+est.SparseSparse {
+			return false
+		}
+		raw, err := EstimateJoin(fs, gs, 512, &Options{NoSkim: true})
+		if err != nil {
+			return false
+		}
+		return raw.Total == raw.SparseSparse && raw.DenseDense == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization round-trips arbitrary sketch states exactly.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	c := cfg(3, 16, 5)
+	f := func(vals []uint16, weights []int8) bool {
+		s := MustNewHashSketch(c)
+		stream.Apply(miniStream(vals, weights), s)
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var r HashSketch
+		if err := r.UnmarshalBinary(blob); err != nil {
+			return false
+		}
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 16; k++ {
+				if s.Counter(j, k) != r.Counter(j, k) {
+					return false
+				}
+			}
+		}
+		return r.NetCount() == s.NetCount() && r.GrossCount() == s.GrossCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single-value stream is always estimated exactly, whatever
+// its (non-zero) frequency — ξ(v)² = 1 makes collisions irrelevant when
+// only one value exists.
+func TestQuickSingleValueExact(t *testing.T) {
+	c := cfg(5, 8, 13)
+	f := func(vRaw uint16, wRaw int8) bool {
+		v := uint64(vRaw)
+		w := int64(wRaw)
+		if w == 0 {
+			w = 3
+		}
+		s := MustNewHashSketch(c)
+		s.Update(v, w)
+		return s.PointEstimate(v) == w && s.SelfJoinEstimate() == w*w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"skimsketch/internal/stream"
+)
+
+// SkimDense implements procedure SKIMDENSE (Figure 3): it extracts every
+// domain value whose estimated |frequency| is at least threshold into the
+// returned dense frequency vector, and subtracts those estimates from the
+// sketch's counters (Steps 8–9), leaving a *skimmed* sketch that reflects
+// only the residual (sparse) frequencies. With threshold T = Θ(n/√b) the
+// paper's Theorem 4 gives, with high probability, residual frequencies
+// all below 2T and no larger than the originals.
+//
+// Like the paper's Step 6, only values with estimate ≥ threshold are
+// extracted: frequencies in the stream model are non-negative, so a large
+// *negative* estimate can only be collision noise, and extracting it
+// would plant a phantom frequency in the residual that corrupts the
+// subjoin estimates. Streams whose net frequencies are genuinely negative
+// (delete-heavy reconciliation feeds) should use SkimDenseSigned.
+//
+// This is the reference O(m·d) implementation that scans the whole domain
+// [0, domain); package dyadic provides the O(b·d·log m) dyadic-interval
+// variant of Section 4.2 and tests verify the two extract identical dense
+// sets. The sketch is mutated; callers who need to preserve the synopsis
+// should Clone first (EstimateJoin does).
+func (s *HashSketch) SkimDense(domain uint64, threshold int64) (stream.FreqVector, error) {
+	return s.skimDense(domain, threshold, false)
+}
+
+// SkimDenseSigned is SkimDense extracting dense frequencies of either
+// sign (|estimate| ≥ threshold), for streams whose net frequencies can be
+// negative. On insert-dominated streams prefer SkimDense: the two-sided
+// test admits collision phantoms that the one-sided test rejects.
+func (s *HashSketch) SkimDenseSigned(domain uint64, threshold int64) (stream.FreqVector, error) {
+	return s.skimDense(domain, threshold, true)
+}
+
+func (s *HashSketch) skimDense(domain uint64, threshold int64, signed bool) (stream.FreqVector, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("core: skim threshold must be positive, got %d", threshold)
+	}
+	dense := stream.NewFreqVector()
+	for v := uint64(0); v < domain; v++ {
+		est := s.PointEstimate(v)
+		if est >= threshold || (signed && -est >= threshold) {
+			dense[v] = est
+		}
+	}
+	s.subtract(dense)
+	return dense, nil
+}
+
+// SkimValues performs the (one-sided) extraction test and counter
+// subtraction for an explicit candidate set instead of a full domain
+// scan. It is the back-end shared with the dyadic skimmer, which
+// discovers the candidates by descending the interval hierarchy.
+func (s *HashSketch) SkimValues(candidates []uint64, threshold int64) (stream.FreqVector, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("core: skim threshold must be positive, got %d", threshold)
+	}
+	dense := stream.NewFreqVector()
+	for _, v := range candidates {
+		if _, seen := dense[v]; seen {
+			continue
+		}
+		if est := s.PointEstimate(v); est >= threshold {
+			dense[v] = est
+		}
+	}
+	s.subtract(dense)
+	return dense, nil
+}
+
+// Subtract removes a dense estimate vector from the owning bucket of
+// every table, preserving sketch linearity: afterwards the counters
+// summarize the residual frequency vector f − f̂_dense. SkimDense and
+// SkimValues call it internally; the dyadic skimmer also uses it to keep
+// its higher-level sketches consistent after an extraction.
+func (s *HashSketch) Subtract(dense stream.FreqVector) {
+	s.subtract(dense)
+}
+
+func (s *HashSketch) subtract(dense stream.FreqVector) {
+	b := s.cfg.Buckets
+	for v, w := range dense {
+		for j := 0; j < s.cfg.Tables; j++ {
+			k := s.bucketOf(j, v)
+			s.counters[j*b+k] -= w * s.signOf(j, v)
+		}
+	}
+}
+
+// Unskim adds a previously extracted dense vector back into the sketch,
+// restoring the pre-skim state exactly (the inverse of Steps 8–9). It is
+// the cheap alternative to Clone when a caller wants to reuse one sketch
+// across repeated estimates.
+func (s *HashSketch) Unskim(dense stream.FreqVector) {
+	b := s.cfg.Buckets
+	for v, w := range dense {
+		for j := 0; j < s.cfg.Tables; j++ {
+			k := s.bucketOf(j, v)
+			s.counters[j*b+k] += w * s.signOf(j, v)
+		}
+	}
+}

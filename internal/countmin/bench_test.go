@@ -1,0 +1,37 @@
+package countmin
+
+import "testing"
+
+func BenchmarkUpdate(b *testing.B) {
+	s := MustNew(5, 2048, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(uint64(i&16383), 1)
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	s := MustNew(5, 2048, 1)
+	for i := 0; i < 100000; i++ {
+		s.Update(uint64(i&16383), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PointQuery(uint64(i & 16383))
+	}
+}
+
+func BenchmarkInnerProduct(b *testing.B) {
+	f := MustNew(5, 2048, 1)
+	g := MustNew(5, 2048, 1)
+	for i := 0; i < 100000; i++ {
+		f.Update(uint64(i&16383), 1)
+		g.Update(uint64(i&8191), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InnerProduct(f, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

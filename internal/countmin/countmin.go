@@ -1,0 +1,134 @@
+// Package countmin implements the Count-Min sketch of Cormode &
+// Muthukrishnan, the closest sibling synopsis to the paper's hash sketch:
+// the same d × b bucket layout, but with unsigned counting instead of
+// ±1 projections. It is included as a comparison synopsis: its point
+// queries are one-sided (never underestimates on insert-only streams) and
+// its inner-product estimate upper-bounds the true join size, whereas the
+// skimmed sketch is unbiased. For streams with deletes, the Count-Median
+// variant (median over tables) replaces the minimum.
+package countmin
+
+import (
+	"fmt"
+
+	"skimsketch/internal/hashfam"
+	"skimsketch/internal/stats"
+)
+
+// Sketch is a Count-Min sketch with d tables of b counters.
+type Sketch struct {
+	d, b     int
+	seed     uint64
+	counters []int64
+	hs       []hashfam.Pairwise
+	net      int64
+	sawNeg   bool
+}
+
+// New returns an empty Count-Min sketch. Sketches with equal (d, b, seed)
+// share hash functions and may be used together in InnerProduct.
+func New(d, b int, seed uint64) (*Sketch, error) {
+	if d <= 0 || b <= 0 {
+		return nil, fmt.Errorf("countmin: dimensions must be positive, got d=%d b=%d", d, b)
+	}
+	ss := hashfam.NewSeedStream(seed)
+	hs := make([]hashfam.Pairwise, d)
+	for j := range hs {
+		hs[j] = hashfam.NewPairwise(ss)
+	}
+	return &Sketch{d: d, b: b, seed: seed, counters: make([]int64, d*b), hs: hs}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(d, b int, seed uint64) *Sketch {
+	s, err := New(d, b, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Update folds one stream element into one counter per table. It
+// implements stream.Sink.
+func (s *Sketch) Update(value uint64, weight int64) {
+	for j := 0; j < s.d; j++ {
+		s.counters[j*s.b+s.hs[j].Bucket(value, s.b)] += weight
+	}
+	s.net += weight
+	if weight < 0 {
+		s.sawNeg = true
+	}
+}
+
+// Words returns the synopsis size in counter words.
+func (s *Sketch) Words() int { return s.d * s.b }
+
+// NetCount returns Σ weights.
+func (s *Sketch) NetCount() int64 { return s.net }
+
+// Compatible reports whether two sketches share layout and hashes.
+func (s *Sketch) Compatible(o *Sketch) bool {
+	return s.d == o.d && s.b == o.b && s.seed == o.seed
+}
+
+// PointQuery estimates f_v. On insert-only streams it is the classic
+// Count-Min minimum, guaranteeing f̂_v ≥ f_v and f̂_v ≤ f_v + n/b with
+// probability 1 − (1/2)^d-ish; once a delete has been seen it switches to
+// the Count-Median estimator (median over tables), which remains unbiased
+// under general updates but loses the one-sided guarantee.
+func (s *Sketch) PointQuery(v uint64) int64 {
+	ests := make([]int64, s.d)
+	for j := 0; j < s.d; j++ {
+		ests[j] = s.counters[j*s.b+s.hs[j].Bucket(v, s.b)]
+	}
+	if s.sawNeg {
+		return stats.MedianInt64(ests)
+	}
+	min := ests[0]
+	for _, e := range ests[1:] {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// InnerProduct estimates Σ_v f_v·g_v as the minimum over tables of the
+// bucket-wise product (an upper bound on insert-only streams: every
+// colliding pair adds a non-negative cross term).
+func InnerProduct(f, g *Sketch) (int64, error) {
+	if !f.Compatible(g) {
+		return 0, fmt.Errorf("countmin: sketches are not a pair")
+	}
+	rows := make([]int64, f.d)
+	for j := 0; j < f.d; j++ {
+		var sum int64
+		base := j * f.b
+		for k := 0; k < f.b; k++ {
+			sum += f.counters[base+k] * g.counters[base+k]
+		}
+		rows[j] = sum
+	}
+	if f.sawNeg || g.sawNeg {
+		return stats.MedianInt64(rows), nil
+	}
+	min := rows[0]
+	for _, r := range rows[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	return min, nil
+}
+
+// HeavyHitters returns every domain value whose point query is at least
+// threshold, scanning [0, domain).
+func (s *Sketch) HeavyHitters(domain uint64, threshold int64) map[uint64]int64 {
+	out := make(map[uint64]int64)
+	for v := uint64(0); v < domain; v++ {
+		if est := s.PointQuery(v); est >= threshold {
+			out[v] = est
+		}
+	}
+	return out
+}

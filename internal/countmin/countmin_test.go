@@ -1,0 +1,138 @@
+package countmin
+
+import (
+	"testing"
+
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 8, 1); err == nil {
+		t.Fatal("expected error for d=0")
+	}
+	if _, err := New(3, 0, 1); err == nil {
+		t.Fatal("expected error for b=0")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(0, 0, 0)
+}
+
+func TestPointQueryNeverUnderestimatesInsertOnly(t *testing.T) {
+	const m, n = 1 << 10, 20000
+	g, _ := workload.NewZipf(m, 1.0, 7)
+	f := stream.NewFreqVector()
+	s := MustNew(5, 256, 3)
+	for _, u := range workload.MakeStream(g, n) {
+		f.Update(u.Value, u.Weight)
+		s.Update(u.Value, u.Weight)
+	}
+	for v := uint64(0); v < m; v += 3 {
+		if est := s.PointQuery(v); est < f.Get(v) {
+			t.Fatalf("value %d: estimate %d below true %d (one-sided guarantee broken)", v, est, f.Get(v))
+		}
+	}
+}
+
+func TestPointQueryErrorBound(t *testing.T) {
+	const m, n = 1 << 10, 20000
+	g, _ := workload.NewZipf(m, 1.0, 9)
+	f := stream.NewFreqVector()
+	s := MustNew(5, 512, 5)
+	for _, u := range workload.MakeStream(g, n) {
+		f.Update(u.Value, u.Weight)
+		s.Update(u.Value, u.Weight)
+	}
+	bound := int64(4 * n / 512) // a few multiples of n/b
+	for v := uint64(0); v < m; v += 3 {
+		if est := s.PointQuery(v); est-f.Get(v) > bound {
+			t.Fatalf("value %d: overestimate %d exceeds bound", v, est-f.Get(v))
+		}
+	}
+}
+
+func TestDeletesSwitchToMedian(t *testing.T) {
+	s := MustNew(5, 64, 1)
+	s.Update(3, 10)
+	s.Update(3, -4)
+	if got := s.PointQuery(3); got != 6 {
+		t.Fatalf("PointQuery after delete = %d, want 6", got)
+	}
+	if s.NetCount() != 6 {
+		t.Fatalf("NetCount = %d", s.NetCount())
+	}
+}
+
+func TestInnerProductUpperBounds(t *testing.T) {
+	const m, n = 1 << 10, 20000
+	gf, _ := workload.NewZipf(m, 1.0, 11)
+	gg, _ := workload.NewZipf(m, 1.0, 12)
+	fv, gv := stream.NewFreqVector(), stream.NewFreqVector()
+	f := MustNew(5, 256, 9)
+	g := MustNew(5, 256, 9)
+	for _, u := range workload.MakeStream(gf, n) {
+		fv.Update(u.Value, u.Weight)
+		f.Update(u.Value, u.Weight)
+	}
+	for _, u := range workload.MakeStream(gg, n) {
+		gv.Update(u.Value, u.Weight)
+		g.Update(u.Value, u.Weight)
+	}
+	exact := fv.InnerProduct(gv)
+	est, err := InnerProduct(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < exact {
+		t.Fatalf("CM inner product %d must upper-bound exact %d on insert-only streams", est, exact)
+	}
+	// And it should not be wildly loose at this width.
+	if float64(est) > 3*float64(exact) {
+		t.Fatalf("CM inner product %d too loose vs exact %d", est, exact)
+	}
+}
+
+func TestInnerProductIncompatible(t *testing.T) {
+	a := MustNew(3, 8, 1)
+	b := MustNew(3, 8, 2)
+	if _, err := InnerProduct(a, b); err == nil {
+		t.Fatal("expected pairing error")
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	s := MustNew(5, 256, 21)
+	s.Update(7, 1000)
+	s.Update(9, 900)
+	u := workload.NewUniform(1024, 1)
+	for i := 0; i < 2000; i++ {
+		s.Update(u.Next(), 1)
+	}
+	hh := s.HeavyHitters(1024, 500)
+	if _, ok := hh[7]; !ok {
+		t.Fatal("7 must be a heavy hitter")
+	}
+	if _, ok := hh[9]; !ok {
+		t.Fatal("9 must be a heavy hitter")
+	}
+	if len(hh) > 10 {
+		t.Fatalf("%d heavy hitters reported; expected ≈ 2", len(hh))
+	}
+}
+
+func TestWordsAndCompatible(t *testing.T) {
+	s := MustNew(4, 16, 3)
+	if s.Words() != 64 {
+		t.Fatalf("Words = %d", s.Words())
+	}
+	if !s.Compatible(MustNew(4, 16, 3)) || s.Compatible(MustNew(4, 16, 4)) {
+		t.Fatal("compatibility must track (d, b, seed)")
+	}
+}

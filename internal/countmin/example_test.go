@@ -1,0 +1,16 @@
+package countmin_test
+
+import (
+	"fmt"
+
+	"skimsketch/internal/countmin"
+)
+
+// Count-Min point queries never underestimate on insert-only streams —
+// the one-sided guarantee the (unbiased) hash sketch trades away.
+func ExampleSketch_PointQuery() {
+	s := countmin.MustNew(5, 256, 3)
+	s.Update(9, 12)
+	fmt.Println(s.PointQuery(9) >= 12)
+	// Output: true
+}

@@ -1,0 +1,106 @@
+// Package distributed provides parallel and multi-site ingestion on top
+// of sketch linearity: updates are fanned out to per-worker shard
+// sketches over channels, and shards (or sketches shipped from remote
+// sites) are merged into one synopsis at query time. Because every
+// sketch in this repository is a linear projection of the frequency
+// vector, the merged sketch is bit-identical to one maintained serially
+// over the concatenated stream — the property the tests pin down.
+package distributed
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/stream"
+)
+
+// Ingestor ingests one stream with several workers, each owning a shard
+// sketch, so Update never contends on a shared counter array.
+type Ingestor struct {
+	cfg    core.Config
+	shards []*core.HashSketch
+	chans  []chan stream.Update
+	wg     sync.WaitGroup
+	next   atomic.Uint64
+	closed bool
+}
+
+// NewIngestor starts `workers` shard goroutines for sketches with the
+// given configuration.
+func NewIngestor(workers int, cfg core.Config) (*Ingestor, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("distributed: workers must be positive, got %d", workers)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Ingestor{cfg: cfg}
+	for i := 0; i < workers; i++ {
+		sk, err := core.NewHashSketch(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ch := make(chan stream.Update, 1024)
+		in.shards = append(in.shards, sk)
+		in.chans = append(in.chans, ch)
+		in.wg.Add(1)
+		go func(sk *core.HashSketch, ch <-chan stream.Update) {
+			defer in.wg.Done()
+			for u := range ch {
+				sk.Update(u.Value, u.Weight)
+			}
+		}(sk, ch)
+	}
+	return in, nil
+}
+
+// Update routes one element to a shard (round-robin). It implements
+// stream.Sink and is safe for concurrent use. Calling Update after Close
+// panics, like sending on a closed channel does.
+func (in *Ingestor) Update(value uint64, weight int64) {
+	i := in.next.Add(1) % uint64(len(in.chans))
+	in.chans[i] <- stream.Update{Value: value, Weight: weight}
+}
+
+// Close stops the workers and waits for every queued update to be
+// folded. It is idempotent.
+func (in *Ingestor) Close() {
+	if in.closed {
+		return
+	}
+	in.closed = true
+	for _, ch := range in.chans {
+		close(ch)
+	}
+	in.wg.Wait()
+}
+
+// Merged combines the shard sketches into one synopsis. The ingestor
+// must be Closed first so no updates are in flight.
+func (in *Ingestor) Merged() (*core.HashSketch, error) {
+	if !in.closed {
+		return nil, fmt.Errorf("distributed: Close the ingestor before merging")
+	}
+	return Merge(in.shards...)
+}
+
+// Workers returns the shard count.
+func (in *Ingestor) Workers() int { return len(in.shards) }
+
+// Merge combines compatible sketches (local shards or sketches shipped
+// from remote sites) into a fresh synopsis of the union of their
+// streams. The inputs are not modified.
+func Merge(sketches ...*core.HashSketch) (*core.HashSketch, error) {
+	if len(sketches) == 0 {
+		return nil, fmt.Errorf("distributed: nothing to merge")
+	}
+	out := sketches[0].Clone()
+	for _, sk := range sketches[1:] {
+		if err := out.Combine(sk); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

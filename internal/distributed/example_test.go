@@ -1,0 +1,25 @@
+package distributed_test
+
+import (
+	"fmt"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/distributed"
+)
+
+// Multi-site aggregation: sketches built independently at two sites
+// merge into a synopsis of the union stream (sketch linearity).
+func ExampleMerge() {
+	cfg := core.Config{Tables: 5, Buckets: 64, Seed: 1}
+	siteA := core.MustNewHashSketch(cfg)
+	siteB := core.MustNewHashSketch(cfg)
+	siteA.Update(7, 3)
+	siteB.Update(7, 4)
+
+	merged, err := distributed.Merge(siteA, siteB)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(merged.PointEstimate(7))
+	// Output: 7
+}

@@ -1,0 +1,181 @@
+// Package dyadic implements the optimized SKIMDENSE of Section 4.2: a
+// hierarchy of hash sketches over dyadic intervals that lets dense
+// frequencies be extracted in O(b·d·log m) time instead of the O(m·d)
+// full-domain scan of the reference implementation.
+//
+// The domain [0, 2^bits) is organized into bits+1 levels. At level ℓ each
+// value v contributes to the dyadic interval v >> ℓ, so level 0 is the
+// plain value sketch and level `bits` has a single interval covering the
+// whole domain. Since interval frequencies are sums of their children's
+// frequencies, an interval whose (estimated) frequency is below the skim
+// threshold cannot contain a dense value — the descent prunes it. Only
+// intervals that may contain dense values are expanded, and at most O(n/T)
+// intervals per level can reach frequency T, giving the stated bound.
+//
+// Like the paper, the pruning argument assumes non-negative interval
+// frequencies (insert-dominated streams); with heavily net-negative
+// frequencies, cancellation inside an interval could mask a dense child.
+package dyadic
+
+import (
+	"fmt"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/hashfam"
+	"skimsketch/internal/stream"
+)
+
+// Hierarchy is the stack of per-level hash sketches.
+type Hierarchy struct {
+	bits   int
+	cfg    core.Config
+	levels []*core.HashSketch // levels[ℓ] sketches v >> ℓ
+}
+
+// New returns a hierarchy over the domain [0, 2^bits). cfg.Seed seeds the
+// whole hierarchy; per-level sketch seeds are derived from it, so two
+// hierarchies built with equal (bits, cfg) are compatible level by level
+// and their base sketches form a valid join pair.
+func New(bits int, cfg core.Config) (*Hierarchy, error) {
+	if bits < 0 || bits > 62 {
+		return nil, fmt.Errorf("dyadic: bits must be in [0, 62], got %d", bits)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ss := hashfam.NewSeedStream(cfg.Seed)
+	levels := make([]*core.HashSketch, bits+1)
+	for l := range levels {
+		lcfg := cfg
+		lcfg.Seed = ss.Next()
+		sk, err := core.NewHashSketch(lcfg)
+		if err != nil {
+			return nil, err
+		}
+		levels[l] = sk
+	}
+	return &Hierarchy{bits: bits, cfg: cfg, levels: levels}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(bits int, cfg core.Config) *Hierarchy {
+	h, err := New(bits, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Update folds one stream element into every level. It implements
+// stream.Sink; the per-element cost is O(d·log m), the paper's
+// logarithmic bound.
+func (h *Hierarchy) Update(value uint64, weight int64) {
+	for l, sk := range h.levels {
+		sk.Update(value>>uint(l), weight)
+	}
+}
+
+// Bits returns log₂ of the domain size.
+func (h *Hierarchy) Bits() int { return h.bits }
+
+// Domain returns the domain size 2^bits.
+func (h *Hierarchy) Domain() uint64 { return 1 << uint(h.bits) }
+
+// Levels returns the number of levels (bits+1).
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// Level returns the sketch at level l.
+func (h *Hierarchy) Level(l int) *core.HashSketch { return h.levels[l] }
+
+// Base returns the level-0 (plain value) sketch; after Skim it is the
+// skimmed sketch to hand to core.EstimateJoinSkimmed.
+func (h *Hierarchy) Base() *core.HashSketch { return h.levels[0] }
+
+// Words returns the total synopsis size in counter words across levels.
+func (h *Hierarchy) Words() int {
+	w := 0
+	for _, sk := range h.levels {
+		w += sk.Words()
+	}
+	return w
+}
+
+// Compatible reports whether two hierarchies share structure and seeds.
+func (h *Hierarchy) Compatible(o *Hierarchy) bool {
+	return h.bits == o.bits && h.cfg == o.cfg
+}
+
+// DefaultSkimThreshold mirrors core.HashSketch.DefaultSkimThreshold on
+// the base sketch.
+func (h *Hierarchy) DefaultSkimThreshold() int64 {
+	return h.levels[0].DefaultSkimThreshold()
+}
+
+// CandidateValues descends the hierarchy and returns every level-0 value
+// whose ancestors all have estimated frequency ≥ threshold. This is the
+// search phase of the optimized SKIMDENSE; it does not modify any sketch.
+func (h *Hierarchy) CandidateValues(threshold int64) []uint64 {
+	frontier := []uint64{0}
+	for l := h.bits; l >= 1; l-- {
+		sk := h.levels[l]
+		next := frontier[:0:0]
+		for _, u := range frontier {
+			// One-sided test, matching SkimValues: interval frequencies
+			// are non-negative in the model this descent assumes.
+			if sk.PointEstimate(u) >= threshold {
+				next = append(next, u<<1, u<<1|1)
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return frontier
+}
+
+// Skim implements the optimized SKIMDENSE: it finds candidate values via
+// the dyadic descent, extracts the dense ones from the base sketch, and
+// subtracts the extracted estimates from every level so the hierarchy
+// remains a consistent summary of the residual stream. A threshold ≤ 0
+// selects DefaultSkimThreshold. It returns the extracted dense vector.
+func (h *Hierarchy) Skim(threshold int64) (stream.FreqVector, error) {
+	if threshold <= 0 {
+		threshold = h.DefaultSkimThreshold()
+	}
+	candidates := h.CandidateValues(threshold)
+	dense, err := h.levels[0].SkimValues(candidates, threshold)
+	if err != nil {
+		return nil, err
+	}
+	// Keep levels ≥ 1 consistent: subtract each dense estimate from the
+	// interval it belongs to at every level.
+	for l := 1; l <= h.bits; l++ {
+		parent := stream.NewFreqVector()
+		for v, w := range dense {
+			parent.Update(v>>uint(l), w)
+		}
+		h.levels[l].Subtract(parent)
+	}
+	return dense, nil
+}
+
+// EstimateJoin runs the full skimmed-sketch join estimation over two
+// hierarchies: dyadic skim on each, then the four-way subjoin combination
+// on the base sketches. Thresholds ≤ 0 select the per-stream defaults.
+// The hierarchies ARE mutated (skimmed); clone upstream if the synopsis
+// must survive, or rebuild via Unskim on the base sketches.
+func EstimateJoin(f, g *Hierarchy, thresholdF, thresholdG int64) (core.Estimate, error) {
+	if !f.Compatible(g) {
+		return core.Estimate{}, fmt.Errorf("dyadic: hierarchies are not a pair")
+	}
+	fd, err := f.Skim(thresholdF)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	gd, err := g.Skim(thresholdG)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	return core.EstimateJoinSkimmed(f.Base(), g.Base(), fd, gd)
+}

@@ -1,0 +1,25 @@
+package dyadic_test
+
+import (
+	"fmt"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/dyadic"
+)
+
+// Dense-frequency extraction without a domain scan: the dyadic descent
+// visits only intervals that can contain dense values.
+func ExampleHierarchy_Skim() {
+	h := dyadic.MustNew(16, core.Config{Tables: 5, Buckets: 256, Seed: 7}) // domain 2^16
+	h.Update(12345, 5000)                                                  // one dense value
+	for v := uint64(0); v < 2000; v++ {
+		h.Update(v, 1) // light mass
+	}
+	dense, err := h.Skim(1000)
+	if err != nil {
+		panic(err)
+	}
+	est := dense[12345]
+	fmt.Println("extracted:", len(dense), "value; within 1%:", est > 4950 && est < 5050)
+	// Output: extracted: 1 value; within 1%: true
+}

@@ -1,0 +1,92 @@
+package dyadic
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"skimsketch/internal/core"
+)
+
+// Binary serialization: "SKDY" magic, u32 version, u32 bits, u32 tables,
+// u32 buckets, u64 seed, then bits+1 length-prefixed level-sketch blobs
+// (each produced by core.HashSketch.MarshalBinary).
+
+var hierarchyMagic = [4]byte{'S', 'K', 'D', 'Y'}
+
+const hierarchyVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h *Hierarchy) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 28)
+	buf = append(buf, hierarchyMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, hierarchyVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.bits))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.cfg.Tables))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.cfg.Buckets))
+	buf = binary.LittleEndian.AppendUint64(buf, h.cfg.Seed)
+	for _, sk := range h.levels {
+		blob, err := sk.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's state entirely.
+func (h *Hierarchy) UnmarshalBinary(data []byte) error {
+	if len(data) < 28 {
+		return fmt.Errorf("dyadic: hierarchy data truncated (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != hierarchyMagic {
+		return fmt.Errorf("dyadic: bad hierarchy magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != hierarchyVersion {
+		return fmt.Errorf("dyadic: unsupported hierarchy version %d", v)
+	}
+	bits := int(binary.LittleEndian.Uint32(data[8:12]))
+	cfg := core.Config{
+		Tables:  int(binary.LittleEndian.Uint32(data[12:16])),
+		Buckets: int(binary.LittleEndian.Uint32(data[16:20])),
+		Seed:    binary.LittleEndian.Uint64(data[20:28]),
+	}
+	// Validate the total length against the declared shape BEFORE
+	// allocating bits+1 level sketches: each level blob is a 4-byte
+	// length prefix plus a 40-byte sketch header plus 8·tables·buckets
+	// counter bytes. Hostile headers could otherwise demand gigabytes.
+	if bits < 0 || bits > 62 {
+		return fmt.Errorf("dyadic: bits %d out of range", bits)
+	}
+	perLevel := 44 + 8*uint64(uint32(cfg.Tables))*uint64(uint32(cfg.Buckets))
+	if want := 28 + uint64(bits+1)*perLevel; uint64(len(data)) != want {
+		return fmt.Errorf("dyadic: hierarchy data is %d bytes, want %d for bits=%d %dx%d",
+			len(data), want, bits, cfg.Tables, cfg.Buckets)
+	}
+	fresh, err := New(bits, cfg)
+	if err != nil {
+		return fmt.Errorf("dyadic: unmarshal: %w", err)
+	}
+	off := 28
+	for l := range fresh.levels {
+		if off+4 > len(data) {
+			return fmt.Errorf("dyadic: truncated before level %d", l)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+n > len(data) {
+			return fmt.Errorf("dyadic: level %d blob truncated", l)
+		}
+		if err := fresh.levels[l].UnmarshalBinary(data[off : off+n]); err != nil {
+			return fmt.Errorf("dyadic: level %d: %w", l, err)
+		}
+		off += n
+	}
+	if off != len(data) {
+		return fmt.Errorf("dyadic: %d trailing bytes", len(data)-off)
+	}
+	*h = *fresh
+	return nil
+}

@@ -1,0 +1,95 @@
+package dyadic
+
+import (
+	"testing"
+
+	"skimsketch/internal/workload"
+)
+
+func TestHierarchyMarshalRoundTrip(t *testing.T) {
+	h := MustNew(8, cfg(5, 32, 99))
+	z, _ := workload.NewZipf(256, 1.3, 3)
+	for _, u := range workload.MakeStream(z, 5000) {
+		h.Update(u.Value, u.Weight)
+	}
+	blob, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Hierarchy
+	if err := r.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Compatible(h) {
+		t.Fatal("restored hierarchy must be compatible")
+	}
+	for l := 0; l <= 8; l++ {
+		for j := 0; j < 5; j++ {
+			for k := 0; k < 32; k++ {
+				if r.Level(l).Counter(j, k) != h.Level(l).Counter(j, k) {
+					t.Fatalf("level %d counters differ", l)
+				}
+			}
+		}
+	}
+	// Restored hierarchy must skim identically.
+	d1, err := h.Skim(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.Skim(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("skims differ: %d vs %d", len(d1), len(d2))
+	}
+	for v, w := range d1 {
+		if d2[v] != w {
+			t.Fatalf("skims differ at %d", v)
+		}
+	}
+}
+
+// TestHierarchyUnmarshalHostileDimensions: huge declared dimensions with
+// a short body must be rejected before any level allocation.
+func TestHierarchyUnmarshalHostileDimensions(t *testing.T) {
+	h := MustNew(3, cfg(2, 4, 1))
+	blob, _ := h.MarshalBinary()
+	var r Hierarchy
+	hostile := append([]byte{}, blob...)
+	hostile[12], hostile[13], hostile[14], hostile[15] = 0, 0, 0, 8 // tables = 2^27
+	if err := r.UnmarshalBinary(hostile); err == nil {
+		t.Fatal("expected length error for hostile tables")
+	}
+	hostile = append([]byte{}, blob...)
+	hostile[8], hostile[9] = 63, 0 // bits out of range
+	if err := r.UnmarshalBinary(hostile); err == nil {
+		t.Fatal("expected range error for hostile bits")
+	}
+}
+
+func TestHierarchyUnmarshalErrors(t *testing.T) {
+	h := MustNew(3, cfg(2, 4, 1))
+	blob, _ := h.MarshalBinary()
+	var r Hierarchy
+	if err := r.UnmarshalBinary(blob[:12]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	bad := append([]byte{}, blob...)
+	bad[2] = 'x'
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Fatal("expected magic error")
+	}
+	bad = append([]byte{}, blob...)
+	bad[4] = 9
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Fatal("expected version error")
+	}
+	if err := r.UnmarshalBinary(blob[:len(blob)-5]); err == nil {
+		t.Fatal("expected level truncation error")
+	}
+	if err := r.UnmarshalBinary(append(blob, 0)); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}

@@ -1,0 +1,422 @@
+// Package engine implements the stream query-processing architecture of
+// the paper's Figure 1: named streams flow in; registered continuous
+// queries of the form AGG(F ⋈ G) — COUNT or SUM, with optional selection
+// predicates and sliding windows — are maintained as sketch synopses;
+// approximate answers are served on demand.
+//
+// The engine applies synopsis sharing in the spirit of the companion
+// paper ("Sketch-Based Multi-Query Processing over Data Streams", Dobra
+// et al.): two query sides over the same stream with the same predicate,
+// window and sketch configuration share a single synopsis, so the
+// per-element work and the memory footprint grow with the number of
+// *distinct* synopses, not the number of queries. Reference counts
+// garbage-collect synopses when the last query using them is removed.
+//
+// All synopses default to one engine-wide sketch configuration (one
+// seed), which makes every pair of synopses join-compatible; a query may
+// override the configuration for both of its sides at the cost of a
+// dedicated synopsis pair.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/window"
+)
+
+// Aggregate selects the aggregate operator of a query.
+type Aggregate int
+
+const (
+	// Count is COUNT(F ⋈ G) = Σ_v f_v·g_v.
+	Count Aggregate = iota
+	// Sum is SUM over the right side's measure: each right-stream update's
+	// weight is interpreted as a measure (SUM-as-weighted-COUNT,
+	// Section 2.1 of the paper).
+	Sum
+)
+
+// String names the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	default:
+		return fmt.Sprintf("Aggregate(%d)", int(a))
+	}
+}
+
+// Predicate filters stream elements before they reach a synopsis.
+type Predicate func(value uint64, weight int64) bool
+
+// Side describes one input of a join query.
+type Side struct {
+	// Stream is the declared stream name.
+	Stream string
+	// Predicate optionally names a registered predicate applied to this
+	// side before sketching (predicate pushdown).
+	Predicate string
+	// WindowLen, if positive, restricts this side to (approximately) its
+	// most recent WindowLen elements, tiled into WindowBuckets buckets.
+	WindowLen     int64
+	WindowBuckets int
+}
+
+// QuerySpec registers one continuous query.
+type QuerySpec struct {
+	Name  string
+	Agg   Aggregate
+	Left  Side
+	Right Side
+	// SketchConfig optionally overrides the engine default for this
+	// query's pair of synopses. Seed and dimensions apply to both sides.
+	SketchConfig *core.Config
+}
+
+// Answer is one approximate query result.
+type Answer struct {
+	Query    string
+	Agg      Aggregate
+	Estimate int64
+	// Detail is the decomposed skimmed-sketch estimate.
+	Detail core.Estimate
+}
+
+// Options configures an Engine.
+type Options struct {
+	// SketchConfig is the default synopsis configuration.
+	SketchConfig core.Config
+}
+
+// Engine is the stream query processor. All methods are safe for
+// concurrent use; updates are serialized internally.
+type Engine struct {
+	mu         sync.Mutex
+	defaults   core.Config
+	streams    map[string]*streamInfo
+	predicates map[string]Predicate
+	synopses   map[synKey]*synEntry
+	queries    map[string]*queryState
+}
+
+type streamInfo struct {
+	domain uint64
+	count  int64 // updates received
+}
+
+// synKey identifies a shareable synopsis.
+type synKey struct {
+	stream        string
+	predicate     string
+	windowLen     int64
+	windowBuckets int
+	cfg           core.Config
+}
+
+type synEntry struct {
+	key  synKey
+	refs int
+	pred Predicate // nil means accept all
+	// Exactly one of sketch/win is set.
+	sketch *core.HashSketch
+	win    *window.Window
+}
+
+func (e *synEntry) update(v uint64, w int64) {
+	if e.pred != nil && !e.pred(v, w) {
+		return
+	}
+	if e.win != nil {
+		e.win.Update(v, w)
+		return
+	}
+	e.sketch.Update(v, w)
+}
+
+// materialize returns a sketch snapshot suitable for estimation.
+func (e *synEntry) materialize() *core.HashSketch {
+	if e.win != nil {
+		return e.win.Combined()
+	}
+	return e.sketch
+}
+
+func (e *synEntry) words() int {
+	if e.win != nil {
+		return e.win.Words()
+	}
+	return e.sketch.Words()
+}
+
+type queryState struct {
+	spec        QuerySpec
+	left, right *synEntry
+	domain      uint64
+}
+
+// New returns an empty engine.
+func New(opts Options) (*Engine, error) {
+	if err := opts.SketchConfig.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: default sketch config: %w", err)
+	}
+	return &Engine{
+		defaults:   opts.SketchConfig,
+		streams:    make(map[string]*streamInfo),
+		predicates: make(map[string]Predicate),
+		synopses:   make(map[synKey]*synEntry),
+		queries:    make(map[string]*queryState),
+	}, nil
+}
+
+// DeclareStream registers a stream name with its value domain [0, domain).
+func (e *Engine) DeclareStream(name string, domain uint64) error {
+	if name == "" {
+		return fmt.Errorf("engine: stream name must be non-empty")
+	}
+	if domain == 0 {
+		return fmt.Errorf("engine: stream %q: domain must be positive", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.streams[name]; ok {
+		return fmt.Errorf("engine: stream %q already declared", name)
+	}
+	e.streams[name] = &streamInfo{domain: domain}
+	return nil
+}
+
+// RegisterPredicate names a selection predicate for use in query sides.
+func (e *Engine) RegisterPredicate(name string, p Predicate) error {
+	if name == "" || p == nil {
+		return fmt.Errorf("engine: predicate name and function must be non-empty")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.predicates[name]; ok {
+		return fmt.Errorf("engine: predicate %q already registered", name)
+	}
+	e.predicates[name] = p
+	return nil
+}
+
+// RegisterQuery installs a continuous query. Synopses are created (or
+// shared) immediately; elements arriving before registration are not
+// reflected in the new synopses.
+func (e *Engine) RegisterQuery(spec QuerySpec) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.registerLocked(spec)
+}
+
+// registerLocked is RegisterQuery with e.mu held (shared with Restore).
+func (e *Engine) registerLocked(spec QuerySpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("engine: query name must be non-empty")
+	}
+	if spec.Agg != Count && spec.Agg != Sum {
+		return fmt.Errorf("engine: query %q: unsupported aggregate %v", spec.Name, spec.Agg)
+	}
+	if _, ok := e.queries[spec.Name]; ok {
+		return fmt.Errorf("engine: query %q already registered", spec.Name)
+	}
+	cfg := e.defaults
+	if spec.SketchConfig != nil {
+		if err := spec.SketchConfig.Validate(); err != nil {
+			return fmt.Errorf("engine: query %q: %w", spec.Name, err)
+		}
+		cfg = *spec.SketchConfig
+	}
+	lDomain, err := e.sideDomain(spec.Left)
+	if err != nil {
+		return fmt.Errorf("engine: query %q: left: %w", spec.Name, err)
+	}
+	rDomain, err := e.sideDomain(spec.Right)
+	if err != nil {
+		return fmt.Errorf("engine: query %q: right: %w", spec.Name, err)
+	}
+	domain := lDomain
+	if rDomain > domain {
+		domain = rDomain
+	}
+
+	left, err := e.acquireSynopsis(spec.Left, cfg)
+	if err != nil {
+		return fmt.Errorf("engine: query %q: left: %w", spec.Name, err)
+	}
+	right, err := e.acquireSynopsis(spec.Right, cfg)
+	if err != nil {
+		e.release(left)
+		return fmt.Errorf("engine: query %q: right: %w", spec.Name, err)
+	}
+	e.queries[spec.Name] = &queryState{spec: spec, left: left, right: right, domain: domain}
+	return nil
+}
+
+func (e *Engine) sideDomain(s Side) (uint64, error) {
+	info, ok := e.streams[s.Stream]
+	if !ok {
+		return 0, fmt.Errorf("unknown stream %q", s.Stream)
+	}
+	return info.domain, nil
+}
+
+// acquireSynopsis returns a shared or fresh synopsis for the side.
+// Callers hold e.mu.
+func (e *Engine) acquireSynopsis(s Side, cfg core.Config) (*synEntry, error) {
+	var pred Predicate
+	if s.Predicate != "" {
+		p, ok := e.predicates[s.Predicate]
+		if !ok {
+			return nil, fmt.Errorf("unknown predicate %q", s.Predicate)
+		}
+		pred = p
+	}
+	key := synKey{
+		stream:        s.Stream,
+		predicate:     s.Predicate,
+		windowLen:     s.WindowLen,
+		windowBuckets: s.WindowBuckets,
+		cfg:           cfg,
+	}
+	if entry, ok := e.synopses[key]; ok {
+		entry.refs++
+		return entry, nil
+	}
+	entry := &synEntry{key: key, refs: 1, pred: pred}
+	if s.WindowLen > 0 {
+		w, err := window.New(s.WindowLen, s.WindowBuckets, cfg)
+		if err != nil {
+			return nil, err
+		}
+		entry.win = w
+	} else {
+		if s.WindowBuckets != 0 {
+			return nil, fmt.Errorf("WindowBuckets set without WindowLen")
+		}
+		sk, err := core.NewHashSketch(cfg)
+		if err != nil {
+			return nil, err
+		}
+		entry.sketch = sk
+	}
+	e.synopses[key] = entry
+	return entry, nil
+}
+
+func (e *Engine) release(entry *synEntry) {
+	entry.refs--
+	if entry.refs <= 0 {
+		delete(e.synopses, entry.key)
+	}
+}
+
+// RemoveQuery deregisters a query, releasing (and possibly freeing) its
+// synopses.
+func (e *Engine) RemoveQuery(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	if !ok {
+		return fmt.Errorf("engine: unknown query %q", name)
+	}
+	e.release(q.left)
+	e.release(q.right)
+	delete(e.queries, name)
+	return nil
+}
+
+// Update routes one stream element to every synopsis attached to the
+// stream. For SUM queries the weight carries the measure; for plain
+// COUNT streams use weight ±1.
+func (e *Engine) Update(streamName string, value uint64, weight int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	info, ok := e.streams[streamName]
+	if !ok {
+		return fmt.Errorf("engine: unknown stream %q", streamName)
+	}
+	if value >= info.domain {
+		return fmt.Errorf("engine: stream %q: value %d outside domain [0,%d)", streamName, value, info.domain)
+	}
+	info.count++
+	for _, entry := range e.synopses {
+		if entry.key.stream == streamName {
+			entry.update(value, weight)
+		}
+	}
+	return nil
+}
+
+// Answer serves the current approximate answer of a registered query.
+func (e *Engine) Answer(name string) (Answer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	if !ok {
+		return Answer{}, fmt.Errorf("engine: unknown query %q", name)
+	}
+	est, err := core.EstimateJoin(q.left.materialize(), q.right.materialize(), q.domain, nil)
+	if err != nil {
+		return Answer{}, fmt.Errorf("engine: query %q: %w", name, err)
+	}
+	return Answer{Query: name, Agg: q.spec.Agg, Estimate: est.Total, Detail: est}, nil
+}
+
+// Stats summarizes the engine state.
+type Stats struct {
+	Streams      int
+	Queries      int
+	Synopses     int
+	SynopsisRefs int // total query-side references; > Synopses means sharing
+	TotalWords   int
+	UpdateCounts map[string]int64
+}
+
+// Stats reports synopsis sharing and memory usage.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		Streams:      len(e.streams),
+		Queries:      len(e.queries),
+		Synopses:     len(e.synopses),
+		UpdateCounts: make(map[string]int64, len(e.streams)),
+	}
+	for name, info := range e.streams {
+		st.UpdateCounts[name] = info.count
+	}
+	for _, entry := range e.synopses {
+		st.SynopsisRefs += entry.refs
+		st.TotalWords += entry.words()
+	}
+	return st
+}
+
+// Queries returns the registered query names, sorted.
+func (e *Engine) Queries() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.queries))
+	for n := range e.queries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Streams returns the declared stream names, sorted.
+func (e *Engine) Streams() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.streams))
+	for n := range e.streams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

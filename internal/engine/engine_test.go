@@ -1,0 +1,371 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+func defaultOpts() Options {
+	return Options{SketchConfig: core.Config{Tables: 5, Buckets: 256, Seed: 7}}
+}
+
+func mustEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("expected error for empty config")
+	}
+}
+
+func TestDeclareStreamValidation(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("", 16); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+	if err := e.DeclareStream("F", 0); err == nil {
+		t.Fatal("expected error for zero domain")
+	}
+	if err := e.DeclareStream("F", 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeclareStream("F", 16); err == nil {
+		t.Fatal("expected duplicate-stream error")
+	}
+}
+
+func TestRegisterPredicateValidation(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.RegisterPredicate("", nil); err == nil {
+		t.Fatal("expected error for empty predicate")
+	}
+	p := func(v uint64, w int64) bool { return true }
+	if err := e.RegisterPredicate("p", p); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterPredicate("p", p); err == nil {
+		t.Fatal("expected duplicate-predicate error")
+	}
+}
+
+func TestRegisterQueryValidation(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 64); err != nil {
+		t.Fatal(err)
+	}
+	cases := []QuerySpec{
+		{Name: "", Left: Side{Stream: "F"}, Right: Side{Stream: "F"}},
+		{Name: "q", Agg: Aggregate(9), Left: Side{Stream: "F"}, Right: Side{Stream: "F"}},
+		{Name: "q", Left: Side{Stream: "missing"}, Right: Side{Stream: "F"}},
+		{Name: "q", Left: Side{Stream: "F"}, Right: Side{Stream: "missing"}},
+		{Name: "q", Left: Side{Stream: "F", Predicate: "missing"}, Right: Side{Stream: "F"}},
+		{Name: "q", Left: Side{Stream: "F", WindowBuckets: 3}, Right: Side{Stream: "F"}},
+		{Name: "q", Left: Side{Stream: "F", WindowLen: 10, WindowBuckets: 3}, Right: Side{Stream: "F"}},
+		{Name: "q", Left: Side{Stream: "F"}, Right: Side{Stream: "F"}, SketchConfig: &core.Config{}},
+	}
+	for i, spec := range cases {
+		if err := e.RegisterQuery(spec); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, spec)
+		}
+	}
+	good := QuerySpec{Name: "q", Left: Side{Stream: "F"}, Right: Side{Stream: "F"}}
+	if err := e.RegisterQuery(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterQuery(good); err == nil {
+		t.Fatal("expected duplicate-query error")
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	e := mustEngine(t)
+	e.DeclareStream("F", 16)
+	if err := e.Update("missing", 1, 1); err == nil {
+		t.Fatal("expected unknown-stream error")
+	}
+	if err := e.Update("F", 16, 1); err == nil {
+		t.Fatal("expected out-of-domain error")
+	}
+	if err := e.Update("F", 15, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnswerUnknownQuery(t *testing.T) {
+	e := mustEngine(t)
+	if _, err := e.Answer("missing"); err == nil {
+		t.Fatal("expected unknown-query error")
+	}
+}
+
+func TestCountQueryEndToEnd(t *testing.T) {
+	e := mustEngine(t)
+	const domain = 1 << 10
+	e.DeclareStream("F", domain)
+	e.DeclareStream("G", domain)
+	if err := e.RegisterQuery(QuerySpec{Name: "q", Agg: Count,
+		Left: Side{Stream: "F"}, Right: Side{Stream: "G"}}); err != nil {
+		t.Fatal(err)
+	}
+	zf, _ := workload.NewZipf(domain, 1.2, 1)
+	zg, _ := workload.NewZipf(domain, 1.2, 2)
+	fv, gv := stream.NewFreqVector(), stream.NewFreqVector()
+	for i := 0; i < 20000; i++ {
+		v := zf.Next()
+		if err := e.Update("F", v, 1); err != nil {
+			t.Fatal(err)
+		}
+		fv.Update(v, 1)
+		w := zg.Next()
+		if err := e.Update("G", w, 1); err != nil {
+			t.Fatal(err)
+		}
+		gv.Update(w, 1)
+	}
+	ans, err := e.Answer("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := float64(fv.InnerProduct(gv))
+	if errv := stats.SymmetricError(float64(ans.Estimate), exact); errv > 0.3 {
+		t.Fatalf("engine COUNT error %.4f (est %d vs exact %.0f)", errv, ans.Estimate, exact)
+	}
+	if ans.Agg != Count || ans.Query != "q" {
+		t.Fatalf("answer metadata wrong: %+v", ans)
+	}
+}
+
+func TestSelfJoinQuery(t *testing.T) {
+	e := mustEngine(t)
+	e.DeclareStream("F", 64)
+	e.RegisterQuery(QuerySpec{Name: "f2", Agg: Count,
+		Left: Side{Stream: "F"}, Right: Side{Stream: "F"}})
+	for i := 0; i < 9; i++ {
+		e.Update("F", 5, 1)
+	}
+	ans, err := e.Answer("f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Estimate != 81 {
+		t.Fatalf("self-join estimate = %d, want 81", ans.Estimate)
+	}
+	// Both sides share one synopsis.
+	st := e.Stats()
+	if st.Synopses != 1 || st.SynopsisRefs != 2 {
+		t.Fatalf("sharing stats wrong: %+v", st)
+	}
+}
+
+func TestPredicatePushdown(t *testing.T) {
+	e := mustEngine(t)
+	e.DeclareStream("F", 64)
+	e.DeclareStream("G", 64)
+	e.RegisterPredicate("even", func(v uint64, w int64) bool { return v%2 == 0 })
+	e.RegisterQuery(QuerySpec{Name: "q", Agg: Count,
+		Left:  Side{Stream: "F", Predicate: "even"},
+		Right: Side{Stream: "G"}})
+	// Odd F values must be dropped before sketching.
+	e.Update("F", 2, 10)
+	e.Update("F", 3, 10)
+	e.Update("G", 2, 4)
+	e.Update("G", 3, 4)
+	ans, err := e.Answer("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Estimate != 40 {
+		t.Fatalf("estimate = %d, want 40 (only even values join)", ans.Estimate)
+	}
+}
+
+func TestSumQuery(t *testing.T) {
+	e := mustEngine(t)
+	e.DeclareStream("subs", 64)
+	e.DeclareStream("sales", 64)
+	e.RegisterQuery(QuerySpec{Name: "rev", Agg: Sum,
+		Left: Side{Stream: "subs"}, Right: Side{Stream: "sales"}})
+	e.Update("subs", 9, 1)
+	e.Update("subs", 9, 1)
+	e.Update("sales", 9, 250) // measure-weighted
+	e.Update("sales", 9, 100)
+	e.Update("sales", 3, 999) // non-joining
+	ans, err := e.Answer("rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Estimate != 700 {
+		t.Fatalf("SUM estimate = %d, want 700", ans.Estimate)
+	}
+}
+
+func TestSynopsisSharingAcrossQueries(t *testing.T) {
+	e := mustEngine(t)
+	e.DeclareStream("F", 64)
+	e.DeclareStream("G", 64)
+	e.DeclareStream("H", 64)
+	e.RegisterQuery(QuerySpec{Name: "fg", Left: Side{Stream: "F"}, Right: Side{Stream: "G"}})
+	e.RegisterQuery(QuerySpec{Name: "fh", Left: Side{Stream: "F"}, Right: Side{Stream: "H"}})
+	st := e.Stats()
+	// F's synopsis is shared: 3 synopses serve 4 query sides.
+	if st.Synopses != 3 || st.SynopsisRefs != 4 {
+		t.Fatalf("sharing stats wrong: %+v", st)
+	}
+	if st.Queries != 2 || st.Streams != 3 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	// An element on F is visible to both queries.
+	e.Update("F", 1, 5)
+	e.Update("G", 1, 2)
+	e.Update("H", 1, 3)
+	fg, _ := e.Answer("fg")
+	fh, _ := e.Answer("fh")
+	if fg.Estimate != 10 || fh.Estimate != 15 {
+		t.Fatalf("estimates %d/%d, want 10/15", fg.Estimate, fh.Estimate)
+	}
+}
+
+func TestRemoveQueryGarbageCollects(t *testing.T) {
+	e := mustEngine(t)
+	e.DeclareStream("F", 64)
+	e.DeclareStream("G", 64)
+	e.RegisterQuery(QuerySpec{Name: "fg", Left: Side{Stream: "F"}, Right: Side{Stream: "G"}})
+	e.RegisterQuery(QuerySpec{Name: "fg2", Left: Side{Stream: "F"}, Right: Side{Stream: "G"}})
+	if st := e.Stats(); st.Synopses != 2 || st.SynopsisRefs != 4 {
+		t.Fatalf("pre-remove stats: %+v", st)
+	}
+	if err := e.RemoveQuery("fg"); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Synopses != 2 || st.SynopsisRefs != 2 {
+		t.Fatalf("after removing one of two sharers: %+v", st)
+	}
+	if err := e.RemoveQuery("fg2"); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Synopses != 0 || st.TotalWords != 0 {
+		t.Fatalf("after removing all queries: %+v", st)
+	}
+	if err := e.RemoveQuery("fg"); err == nil {
+		t.Fatal("expected unknown-query error")
+	}
+}
+
+func TestWindowedQuerySide(t *testing.T) {
+	e := mustEngine(t)
+	e.DeclareStream("F", 64)
+	e.DeclareStream("G", 64)
+	if err := e.RegisterQuery(QuerySpec{Name: "w", Agg: Count,
+		Left:  Side{Stream: "F", WindowLen: 100, WindowBuckets: 4},
+		Right: Side{Stream: "G"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy early F value must expire from the window.
+	for i := 0; i < 90; i++ {
+		e.Update("F", 7, 1)
+	}
+	for i := 0; i < 500; i++ {
+		e.Update("F", uint64(i%32)+32, 1)
+	}
+	e.Update("G", 7, 100)
+	ans, err := e.Answer("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Estimate > 2000 { // would be 9000 without expiry
+		// Estimate should be near zero: the 7s are long expired.
+		t.Fatalf("windowed estimate %d; expired values must not join", ans.Estimate)
+	}
+	// Stats must account for the windowed synopsis' bucket words.
+	st := e.Stats()
+	wantWords := 4*5*256 + 5*256 // windowed F side + plain G side
+	if st.TotalWords != wantWords {
+		t.Fatalf("TotalWords = %d, want %d", st.TotalWords, wantWords)
+	}
+}
+
+func TestQueriesAndStreamsListing(t *testing.T) {
+	e := mustEngine(t)
+	e.DeclareStream("B", 16)
+	e.DeclareStream("A", 16)
+	e.RegisterQuery(QuerySpec{Name: "z", Left: Side{Stream: "A"}, Right: Side{Stream: "B"}})
+	e.RegisterQuery(QuerySpec{Name: "a", Left: Side{Stream: "A"}, Right: Side{Stream: "B"}})
+	qs := e.Queries()
+	if len(qs) != 2 || qs[0] != "a" || qs[1] != "z" {
+		t.Fatalf("Queries = %v", qs)
+	}
+	ss := e.Streams()
+	if len(ss) != 2 || ss[0] != "A" || ss[1] != "B" {
+		t.Fatalf("Streams = %v", ss)
+	}
+}
+
+func TestPerQuerySketchConfigOverride(t *testing.T) {
+	e := mustEngine(t)
+	e.DeclareStream("F", 64)
+	e.DeclareStream("G", 64)
+	big := core.Config{Tables: 7, Buckets: 512, Seed: 9}
+	e.RegisterQuery(QuerySpec{Name: "default", Left: Side{Stream: "F"}, Right: Side{Stream: "G"}})
+	e.RegisterQuery(QuerySpec{Name: "big", Left: Side{Stream: "F"}, Right: Side{Stream: "G"}, SketchConfig: &big})
+	st := e.Stats()
+	// No sharing across different configs: 4 synopses.
+	if st.Synopses != 4 {
+		t.Fatalf("Synopses = %d, want 4", st.Synopses)
+	}
+	e.Update("F", 1, 2)
+	e.Update("G", 1, 3)
+	a, _ := e.Answer("default")
+	b, _ := e.Answer("big")
+	if a.Estimate != 6 || b.Estimate != 6 {
+		t.Fatalf("estimates %d/%d, want 6/6", a.Estimate, b.Estimate)
+	}
+}
+
+func TestConcurrentUpdatesAndAnswers(t *testing.T) {
+	e := mustEngine(t)
+	e.DeclareStream("F", 1024)
+	e.DeclareStream("G", 1024)
+	e.RegisterQuery(QuerySpec{Name: "q", Left: Side{Stream: "F"}, Right: Side{Stream: "G"}})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				e.Update("F", uint64((i*7+p)%1024), 1)
+				e.Update("G", uint64((i*13+p)%1024), 1)
+				if i%500 == 0 {
+					if _, err := e.Answer("q"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.UpdateCounts["F"] != 8000 || st.UpdateCounts["G"] != 8000 {
+		t.Fatalf("update counts: %+v", st.UpdateCounts)
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	if Count.String() != "COUNT" || Sum.String() != "SUM" {
+		t.Fatal("aggregate names")
+	}
+	if Aggregate(9).String() == "" {
+		t.Fatal("unknown aggregate must still print")
+	}
+}

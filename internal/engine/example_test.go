@@ -1,0 +1,37 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/engine"
+)
+
+// The Figure 1 architecture in miniature: declare streams, register a
+// continuous query, push updates, read the approximate answer.
+func Example() {
+	eng, err := engine.New(engine.Options{
+		SketchConfig: core.Config{Tables: 5, Buckets: 128, Seed: 7},
+	})
+	if err != nil {
+		panic(err)
+	}
+	eng.DeclareStream("F", 1024)
+	eng.DeclareStream("G", 1024)
+	eng.RegisterQuery(engine.QuerySpec{
+		Name: "overlap", Agg: engine.Count,
+		Left:  engine.Side{Stream: "F"},
+		Right: engine.Side{Stream: "G"},
+	})
+
+	eng.Update("F", 7, 10)
+	eng.Update("G", 7, 4)
+	eng.Update("G", 9, 100) // non-joining
+
+	ans, err := eng.Answer("overlap")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s(F ⋈ G) ≈ %d\n", ans.Agg, ans.Estimate)
+	// Output: COUNT(F ⋈ G) ≈ 40
+}

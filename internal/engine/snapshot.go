@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/window"
+)
+
+// Snapshot/Restore persist the engine — declared streams, registered
+// queries, and every synopsis' counters — so a stream processor can
+// restart without losing its summaries. The container is JSON (sketch
+// blobs are base64-encoded by encoding/json); the sketch payloads are
+// the same binary formats used everywhere else.
+//
+// Predicates are functions and cannot be serialized: Restore requires
+// every predicate named by the snapshot to have been re-registered on
+// the receiving engine first, and fails otherwise.
+
+const snapshotVersion = 1
+
+type streamSnap struct {
+	Domain uint64 `json:"domain"`
+	Count  int64  `json:"count"`
+}
+
+type sideSnap struct {
+	Stream        string `json:"stream"`
+	Predicate     string `json:"predicate,omitempty"`
+	WindowLen     int64  `json:"windowLen,omitempty"`
+	WindowBuckets int    `json:"windowBuckets,omitempty"`
+}
+
+type querySnap struct {
+	Name   string       `json:"name"`
+	Agg    int          `json:"agg"`
+	Left   sideSnap     `json:"left"`
+	Right  sideSnap     `json:"right"`
+	Config *core.Config `json:"config,omitempty"`
+}
+
+type synSnap struct {
+	Stream        string      `json:"stream"`
+	Predicate     string      `json:"predicate,omitempty"`
+	WindowLen     int64       `json:"windowLen,omitempty"`
+	WindowBuckets int         `json:"windowBuckets,omitempty"`
+	Config        core.Config `json:"config"`
+	Blob          []byte      `json:"blob"`
+}
+
+type snapshot struct {
+	Version  int                   `json:"version"`
+	Defaults core.Config           `json:"defaults"`
+	Streams  map[string]streamSnap `json:"streams"`
+	Queries  []querySnap           `json:"queries"`
+	Synopses []synSnap             `json:"synopses"`
+}
+
+// Snapshot writes the engine state to w.
+func (e *Engine) Snapshot(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	snap := snapshot{
+		Version:  snapshotVersion,
+		Defaults: e.defaults,
+		Streams:  make(map[string]streamSnap, len(e.streams)),
+	}
+	for name, info := range e.streams {
+		snap.Streams[name] = streamSnap{Domain: info.domain, Count: info.count}
+	}
+	for name, q := range e.queries {
+		snap.Queries = append(snap.Queries, querySnap{
+			Name:   name,
+			Agg:    int(q.spec.Agg),
+			Left:   sideSnap(q.spec.Left),
+			Right:  sideSnap(q.spec.Right),
+			Config: q.spec.SketchConfig,
+		})
+	}
+	for key, entry := range e.synopses {
+		var blob []byte
+		var err error
+		if entry.win != nil {
+			blob, err = entry.win.MarshalBinary()
+		} else {
+			blob, err = entry.sketch.MarshalBinary()
+		}
+		if err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+		snap.Synopses = append(snap.Synopses, synSnap{
+			Stream:        key.stream,
+			Predicate:     key.predicate,
+			WindowLen:     key.windowLen,
+			WindowBuckets: key.windowBuckets,
+			Config:        key.cfg,
+			Blob:          blob,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// Restore loads a snapshot into e, which must have no streams or queries
+// yet (predicates must already be re-registered). On success the engine
+// answers queries exactly as the snapshotted engine did.
+func (e *Engine) Restore(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("engine: restore: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("engine: restore: unsupported snapshot version %d", snap.Version)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.streams) != 0 || len(e.queries) != 0 {
+		return fmt.Errorf("engine: restore requires an empty engine (no streams or queries)")
+	}
+	for _, q := range snap.Queries {
+		if q.Left.Predicate != "" {
+			if _, ok := e.predicates[q.Left.Predicate]; !ok {
+				return fmt.Errorf("engine: restore: predicate %q must be re-registered first", q.Left.Predicate)
+			}
+		}
+		if q.Right.Predicate != "" {
+			if _, ok := e.predicates[q.Right.Predicate]; !ok {
+				return fmt.Errorf("engine: restore: predicate %q must be re-registered first", q.Right.Predicate)
+			}
+		}
+	}
+
+	e.defaults = snap.Defaults
+	for name, s := range snap.Streams {
+		e.streams[name] = &streamInfo{domain: s.Domain, count: s.Count}
+	}
+	// Re-register the queries, rebuilding (empty) shared synopses...
+	for _, q := range snap.Queries {
+		spec := QuerySpec{
+			Name:         q.Name,
+			Agg:          Aggregate(q.Agg),
+			Left:         Side(q.Left),
+			Right:        Side(q.Right),
+			SketchConfig: q.Config,
+		}
+		if err := e.registerLocked(spec); err != nil {
+			return fmt.Errorf("engine: restore: %w", err)
+		}
+	}
+	// ...then overwrite each synopsis' state from its blob.
+	for _, s := range snap.Synopses {
+		key := synKey{
+			stream:        s.Stream,
+			predicate:     s.Predicate,
+			windowLen:     s.WindowLen,
+			windowBuckets: s.WindowBuckets,
+			cfg:           s.Config,
+		}
+		entry, ok := e.synopses[key]
+		if !ok {
+			return fmt.Errorf("engine: restore: snapshot synopsis %+v matches no restored query side", key)
+		}
+		if entry.win != nil {
+			var w window.Window
+			if err := w.UnmarshalBinary(s.Blob); err != nil {
+				return fmt.Errorf("engine: restore: %w", err)
+			}
+			*entry.win = w
+		} else {
+			if err := entry.sketch.UnmarshalBinary(s.Blob); err != nil {
+				return fmt.Errorf("engine: restore: %w", err)
+			}
+		}
+	}
+	return nil
+}

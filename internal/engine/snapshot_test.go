@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"skimsketch/internal/workload"
+)
+
+// buildLoadedEngine populates an engine with streams, predicates,
+// queries (plain, predicated, windowed) and traffic.
+func buildLoadedEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeclareStream("G", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterPredicate("low", func(v uint64, _ int64) bool { return v < 512 }); err != nil {
+		t.Fatal(err)
+	}
+	specs := []QuerySpec{
+		{Name: "plain", Agg: Count, Left: Side{Stream: "F"}, Right: Side{Stream: "G"}},
+		{Name: "pred", Agg: Count, Left: Side{Stream: "F", Predicate: "low"}, Right: Side{Stream: "G"}},
+		{Name: "win", Agg: Count,
+			Left:  Side{Stream: "F", WindowLen: 1000, WindowBuckets: 4},
+			Right: Side{Stream: "G"}},
+	}
+	for _, s := range specs {
+		if err := e.RegisterQuery(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	zf, _ := workload.NewZipf(1024, 1.2, 1)
+	zg, _ := workload.NewZipf(1024, 1.2, 2)
+	for i := 0; i < 5000; i++ {
+		if err := e.Update("F", zf.Next(), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Update("G", zg.Next(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	orig := buildLoadedEngine(t)
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := mustEngine(t)
+	if err := restored.RegisterPredicate("low", func(v uint64, _ int64) bool { return v < 512 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every query must answer identically.
+	for _, q := range orig.Queries() {
+		a, err := orig.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Estimate != b.Estimate {
+			t.Fatalf("query %q: restored estimate %d differs from %d", q, b.Estimate, a.Estimate)
+		}
+	}
+	// Stats (counts, sharing, words) must survive.
+	so, sr := orig.Stats(), restored.Stats()
+	if so.Synopses != sr.Synopses || so.TotalWords != sr.TotalWords ||
+		so.UpdateCounts["F"] != sr.UpdateCounts["F"] {
+		t.Fatalf("stats diverged: %+v vs %+v", so, sr)
+	}
+
+	// The restored engine keeps working: further updates shift answers in
+	// both engines identically.
+	orig.Update("F", 3, 100)
+	restored.Update("F", 3, 100)
+	orig.Update("G", 3, 7)
+	restored.Update("G", 3, 7)
+	a, _ := orig.Answer("plain")
+	b, _ := restored.Answer("plain")
+	if a.Estimate != b.Estimate {
+		t.Fatalf("post-restore divergence: %d vs %d", a.Estimate, b.Estimate)
+	}
+}
+
+func TestRestoreRequiresPredicates(t *testing.T) {
+	orig := buildLoadedEngine(t)
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := mustEngine(t) // "low" not registered
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "predicate") {
+		t.Fatalf("expected predicate error, got %v", err)
+	}
+}
+
+func TestRestoreRequiresEmptyEngine(t *testing.T) {
+	orig := buildLoadedEngine(t)
+	var buf bytes.Buffer
+	orig.Snapshot(&buf)
+	notEmpty := mustEngine(t)
+	notEmpty.DeclareStream("X", 8)
+	notEmpty.RegisterPredicate("low", func(uint64, int64) bool { return true })
+	if err := notEmpty.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected non-empty-engine error")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.Restore(strings.NewReader("{nope")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+	if err := e.Restore(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+}

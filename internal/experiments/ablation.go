@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+// AblationConfig parameterizes the skim on/off ablation: identical hash
+// sketches, identical space, with the only difference being whether dense
+// frequencies are skimmed before the bucket-product estimate. This
+// isolates the paper's design contribution from the hash-structure
+// speedup.
+type AblationConfig struct {
+	Domain     uint64
+	StreamLen  int
+	Shift      uint64
+	Zipfs      []float64 // skews to sweep
+	SpaceWords []int
+	Seeds      int
+	Tables     int
+}
+
+// DefaultAblation sweeps skew at a fixed space grid.
+func DefaultAblation() AblationConfig {
+	return AblationConfig{
+		Domain:     1 << 14,
+		StreamLen:  200000,
+		Shift:      50,
+		Zipfs:      []float64{0.8, 1.0, 1.2, 1.5},
+		SpaceWords: []int{1280, 2560, 5120},
+		Seeds:      3,
+		Tables:     7,
+	}
+}
+
+// RunAblation produces, per skew, a skim-on and a skim-off series.
+func RunAblation(cfg AblationConfig) (Result, error) {
+	if cfg.Domain == 0 || cfg.StreamLen <= 0 || cfg.Seeds <= 0 || cfg.Tables <= 0 {
+		return Result{}, fmt.Errorf("experiments: ablation config must be positive")
+	}
+	acc := newSeriesAccumulator()
+	var errOnce errCapture
+
+	type trial struct {
+		z    float64
+		seed int
+	}
+	var trials []trial
+	for _, z := range cfg.Zipfs {
+		for s := 0; s < cfg.Seeds; s++ {
+			trials = append(trials, trial{z: z, seed: s})
+		}
+	}
+
+	parallelFor(len(trials), func(i int) {
+		tr := trials[i]
+		base := int64(tr.seed)*1000 + int64(tr.z*100)
+		zf, err := workload.NewZipf(cfg.Domain, tr.z, base+1)
+		if err != nil {
+			errOnce.set(err)
+			return
+		}
+		zg, err := workload.NewZipf(cfg.Domain, tr.z, base+2)
+		if err != nil {
+			errOnce.set(err)
+			return
+		}
+		fv, gv := stream.NewFreqVector(), stream.NewFreqVector()
+		for j := 0; j < cfg.StreamLen; j++ {
+			fv.Update(zf.Next(), 1)
+		}
+		sg := workload.NewShifted(zg, cfg.Shift)
+		for j := 0; j < cfg.StreamLen; j++ {
+			gv.Update(sg.Next(), 1)
+		}
+		exact := float64(fv.InnerProduct(gv))
+
+		for _, space := range cfg.SpaceWords {
+			c := core.Config{Tables: cfg.Tables, Buckets: space / cfg.Tables, Seed: uint64(tr.seed)*77 + uint64(space)}
+			fs := core.MustNewHashSketch(c)
+			gs := core.MustNewHashSketch(c)
+			chargeHash(fs, fv)
+			chargeHash(gs, gv)
+
+			on, err := core.EstimateJoin(fs, gs, cfg.Domain, nil)
+			if err != nil {
+				errOnce.set(err)
+				return
+			}
+			off, err := core.EstimateJoin(fs, gs, cfg.Domain, &core.Options{NoSkim: true})
+			if err != nil {
+				errOnce.set(err)
+				return
+			}
+			acc.add(fmt.Sprintf("Skim z=%.1f", tr.z), space, float64(on.Total), exact)
+			acc.add(fmt.Sprintf("NoSkim z=%.1f", tr.z), space, float64(off.Total), exact)
+		}
+	})
+	if err := errOnce.get(); err != nil {
+		return Result{}, err
+	}
+
+	return Result{
+		Name: "Ablation: hash sketch with and without skimming",
+		Notes: fmt.Sprintf("domain=%d streamLen=%d shift=%d seeds=%d tables=%d",
+			cfg.Domain, cfg.StreamLen, cfg.Shift, cfg.Seeds, cfg.Tables),
+		Series: acc.series(),
+	}, nil
+}

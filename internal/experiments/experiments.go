@@ -1,0 +1,266 @@
+// Package experiments reproduces the paper's evaluation (Section 5 plus
+// the census experiment of the full version): error-versus-space curves
+// for basic AGMS sketching and the skimmed-sketch estimator on Zipfian,
+// shifted-Zipfian and census-like workloads, the per-element update-cost
+// comparison, and the skim on/off ablation.
+//
+// Space accounting follows the paper: both methods are charged in counter
+// words. Basic AGMS with dimensions s1 × s2 costs s1·s2 words; a hash
+// sketch with d tables of b buckets costs d·b words. For each space
+// budget the harness averages over a small grid of shape choices
+// (the paper's s1 ∈ {50..250}, s2 ∈ {11..59} averaging) and over several
+// seeds; the reported error is the paper's symmetric metric
+// max(Ĵ/J, J/Ĵ) − 1 with a sanity value of 10 for non-positive estimates.
+//
+// Sketches are charged from the exact frequency vector rather than by
+// replaying every stream element; by sketch linearity the resulting
+// synopsis is identical (unit tests in internal/core and internal/agms
+// verify streaming ≡ frequency-vector feeding), and it makes the O(words)
+// per-element AGMS baseline affordable inside a test suite.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"skimsketch/internal/agms"
+	"skimsketch/internal/core"
+	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
+)
+
+// Point is one (space, error) measurement.
+type Point struct {
+	SpaceWords int
+	// Err is the mean symmetric error across seeds and shape choices.
+	Err float64
+	// RelErr is the mean conventional relative error, for context.
+	RelErr float64
+	// StdDev is the standard deviation of the symmetric error across
+	// trials (the paper remarks on basic AGMS's much higher variance).
+	StdDev float64
+}
+
+// Series is one labelled error-versus-space curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Result is a completed experiment.
+type Result struct {
+	Name   string
+	Notes  string
+	Series []Series
+}
+
+// WriteTable renders the result as an aligned text table, one row per
+// space budget, one column pair per series — the same rows/series as the
+// paper's figures.
+func (r Result) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", r.Name)
+	if r.Notes != "" {
+		fmt.Fprintf(w, "# %s\n", r.Notes)
+	}
+	fmt.Fprintf(w, "%-12s", "space(words)")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "  %22s", s.Label)
+	}
+	fmt.Fprintln(w)
+	if len(r.Series) == 0 {
+		return
+	}
+	for i := range r.Series[0].Points {
+		fmt.Fprintf(w, "%-12d", r.Series[0].Points[i].SpaceWords)
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "  %14.4f (±%.3f)", s.Points[i].Err, s.Points[i].StdDev)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV renders the result as CSV: one row per (series, space) point
+// with symmetric error, relative error, and standard deviation — the
+// machine-readable companion to WriteTable for plotting.
+func (r Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "series", "space_words", "sym_error", "rel_error", "stddev"}); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				r.Name,
+				s.Label,
+				strconv.Itoa(p.SpaceWords),
+				strconv.FormatFloat(p.Err, 'g', 6, 64),
+				strconv.FormatFloat(p.RelErr, 'g', 6, 64),
+				strconv.FormatFloat(p.StdDev, 'g', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// seriesAccumulator collects trial errors keyed by (label, space).
+type seriesAccumulator struct {
+	mu   sync.Mutex
+	errs map[string]map[int]*accum
+}
+
+type accum struct {
+	sym stats.Welford
+	rel stats.Welford
+}
+
+func newSeriesAccumulator() *seriesAccumulator {
+	return &seriesAccumulator{errs: make(map[string]map[int]*accum)}
+}
+
+func (a *seriesAccumulator) add(label string, space int, estimate, exact float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bySpace, ok := a.errs[label]
+	if !ok {
+		bySpace = make(map[int]*accum)
+		a.errs[label] = bySpace
+	}
+	ac, ok := bySpace[space]
+	if !ok {
+		ac = &accum{}
+		bySpace[space] = ac
+	}
+	ac.sym.Add(stats.SymmetricError(estimate, exact))
+	ac.rel.Add(stats.RelativeError(estimate, exact))
+}
+
+// series renders the accumulated errors, with points sorted by space and
+// series sorted by label for deterministic output.
+func (a *seriesAccumulator) series() []Series {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	labels := make([]string, 0, len(a.errs))
+	for l := range a.errs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]Series, 0, len(labels))
+	for _, l := range labels {
+		spaces := make([]int, 0, len(a.errs[l]))
+		for sp := range a.errs[l] {
+			spaces = append(spaces, sp)
+		}
+		sort.Ints(spaces)
+		s := Series{Label: l}
+		for _, sp := range spaces {
+			ac := a.errs[l][sp]
+			s.Points = append(s.Points, Point{
+				SpaceWords: sp,
+				Err:        ac.sym.Mean(),
+				RelErr:     ac.rel.Mean(),
+				StdDev:     ac.sym.StdDev(),
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// chargeAGMS feeds a frequency vector into an AGMS sketch.
+func chargeAGMS(sk *agms.Sketch, f stream.FreqVector) {
+	for v, w := range f {
+		sk.Update(v, w)
+	}
+}
+
+// chargeHash feeds a frequency vector into a hash sketch.
+func chargeHash(sk *core.HashSketch, f stream.FreqVector) {
+	for v, w := range f {
+		sk.Update(v, w)
+	}
+}
+
+// agmsShapes returns the (s1, s2) grid for a space budget, following the
+// paper's averaging over s2 ∈ {11, 23, 35, 47, 59} with s1 = space/s2,
+// keeping only shapes that fit.
+func agmsShapes(space int, rows []int) [][2]int {
+	var out [][2]int
+	for _, s2 := range rows {
+		s1 := space / s2
+		if s1 >= 1 {
+			out = append(out, [2]int{s1, s2})
+		}
+	}
+	return out
+}
+
+// hashShapes returns the (d, b) grid for a space budget.
+func hashShapes(space int, tables []int) [][2]int {
+	var out [][2]int
+	for _, d := range tables {
+		b := space / d
+		if b >= 1 {
+			out = append(out, [2]int{d, b})
+		}
+	}
+	return out
+}
+
+// errCapture records the first error reported from concurrent workers.
+type errCapture struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errCapture) set(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *errCapture) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// parallelFor runs fn(i) for i in [0, n) on all cores.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

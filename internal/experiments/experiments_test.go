@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyFig5 keeps experiment tests fast while exercising the full path.
+func tinyFig5(zipf float64, shifts []uint64) Fig5Config {
+	return Fig5Config{
+		Domain:     1 << 10,
+		StreamLen:  20000,
+		Zipf:       zipf,
+		Shifts:     shifts,
+		SpaceWords: []int{320, 1280},
+		Seeds:      2,
+		AGMSRows:   []int{5},
+		SkimTables: []int{5},
+	}
+}
+
+func TestRunFig5Validation(t *testing.T) {
+	if _, err := RunFig5(Fig5Config{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	bad := tinyFig5(1.0, []uint64{10})
+	bad.Shifts = nil
+	if _, err := RunFig5(bad); err == nil {
+		t.Fatal("expected validation error for empty shifts")
+	}
+}
+
+func TestRunFig5Shape(t *testing.T) {
+	res, err := RunFig5(tinyFig5(1.0, []uint64{10, 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two shifts × two methods = 4 series.
+	if len(res.Series) != 4 {
+		t.Fatalf("got %d series, want 4: %+v", len(res.Series), res.Series)
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Label, len(s.Points))
+		}
+		for i, p := range s.Points {
+			if p.Err < 0 || p.Err > 10 {
+				t.Fatalf("series %q point %d error %v out of range", s.Label, i, p.Err)
+			}
+		}
+		if s.Points[0].SpaceWords != 320 || s.Points[1].SpaceWords != 1280 {
+			t.Fatalf("series %q points not sorted by space: %+v", s.Label, s.Points)
+		}
+	}
+}
+
+// TestFig5SkimmedWins: at the larger space budget, the skimmed estimator
+// must beat basic AGMS on skewed data — the figure's headline shape.
+func TestFig5SkimmedWins(t *testing.T) {
+	cfg := tinyFig5(1.2, []uint64{20})
+	cfg.Seeds = 3
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agmsErr, skimErr float64 = -1, -1
+	for _, s := range res.Series {
+		last := s.Points[len(s.Points)-1].Err
+		if strings.HasPrefix(s.Label, "BasicAGMS") {
+			agmsErr = last
+		}
+		if strings.HasPrefix(s.Label, "Skimmed") {
+			skimErr = last
+		}
+	}
+	if agmsErr < 0 || skimErr < 0 {
+		t.Fatalf("missing series in %+v", res.Series)
+	}
+	if skimErr >= agmsErr {
+		t.Fatalf("skimmed error %.4f must beat AGMS %.4f at the top space budget", skimErr, agmsErr)
+	}
+}
+
+// TestFig5ErrorGrowsWithShift: larger shifts shrink the join, so both
+// methods' errors should not improve as the shift grows (paper: "the
+// error typically increases with the shift parameter value").
+func TestFig5ErrorGrowsWithShift(t *testing.T) {
+	cfg := tinyFig5(1.0, []uint64{5, 400})
+	cfg.Seeds = 3
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) float64 {
+		for _, s := range res.Series {
+			if s.Label == label {
+				return s.Points[len(s.Points)-1].Err
+			}
+		}
+		t.Fatalf("missing series %q", label)
+		return 0
+	}
+	if get("Skimmed shift=5") > get("Skimmed shift=400")+0.05 {
+		t.Fatalf("skimmed error should not shrink with shift: %v vs %v",
+			get("Skimmed shift=5"), get("Skimmed shift=400"))
+	}
+}
+
+// TestFig5PartitionedSeries: the optional Dobra-style baseline appears
+// as its own series and, with exact priors, lands between plain AGMS and
+// the skimmed estimator on skewed data (or better — both isolate heavy
+// values; the point is it needs the priors).
+func TestFig5PartitionedSeries(t *testing.T) {
+	cfg := tinyFig5(1.2, []uint64{20})
+	cfg.IncludePartitioned = true
+	cfg.Seeds = 3
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("got %d series, want 3", len(res.Series))
+	}
+	var agmsErr, partErr float64 = -1, -1
+	for _, s := range res.Series {
+		last := s.Points[len(s.Points)-1].Err
+		switch {
+		case strings.HasPrefix(s.Label, "BasicAGMS"):
+			agmsErr = last
+		case strings.HasPrefix(s.Label, "Partitioned"):
+			partErr = last
+		}
+	}
+	if partErr < 0 || agmsErr < 0 {
+		t.Fatalf("missing series in %+v", res.Series)
+	}
+	if partErr >= agmsErr {
+		t.Fatalf("partitioned with exact priors (%.4f) should beat plain AGMS (%.4f)", partErr, agmsErr)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	res, err := RunFig5(tinyFig5(1.0, []uint64{10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "space(words)") || !strings.Contains(out, "320") {
+		t.Fatalf("table missing headers/rows:\n%s", out)
+	}
+	if !strings.Contains(out, "BasicAGMS shift=10") || !strings.Contains(out, "Skimmed shift=10") {
+		t.Fatalf("table missing series:\n%s", out)
+	}
+	// Empty result renders without panicking.
+	var sb2 strings.Builder
+	Result{Name: "empty"}.WriteTable(&sb2)
+}
+
+func TestWriteCSV(t *testing.T) {
+	res, err := RunFig5(tinyFig5(1.0, []uint64{10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 2 series × 2 spaces = 5 lines.
+	if len(lines) != 5 {
+		t.Fatalf("got %d CSV lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "experiment,series,space_words,sym_error") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(out, "BasicAGMS shift=10,320,") {
+		t.Fatalf("missing expected row:\n%s", out)
+	}
+}
+
+func TestRunCensus(t *testing.T) {
+	cfg := DefaultCensus()
+	cfg.Records = 20000
+	cfg.Seeds = 2
+	cfg.SpaceWords = []int{256, 1024}
+	res, err := RunCensus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]bool{}
+	for _, s := range res.Series {
+		labels[s.Label] = true
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points", s.Label, len(s.Points))
+		}
+	}
+	for _, want := range []string{"BasicAGMS", "Skimmed", "Sampling"} {
+		if !labels[want] {
+			t.Fatalf("missing series %q in %v", want, labels)
+		}
+	}
+	// Sketches must beat sampling at the top space budget.
+	get := func(label string) float64 {
+		for _, s := range res.Series {
+			if s.Label == label {
+				return s.Points[len(s.Points)-1].Err
+			}
+		}
+		return -1
+	}
+	if get("Skimmed") > get("Sampling") {
+		t.Fatalf("skimmed (%.4f) should beat sampling (%.4f) on the census join",
+			get("Skimmed"), get("Sampling"))
+	}
+}
+
+func TestRunCensusValidation(t *testing.T) {
+	if _, err := RunCensus(CensusConfig{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestRunUpdateCost(t *testing.T) {
+	cfg := DefaultUpdateCost()
+	cfg.Elements = 2000
+	cfg.SpaceWords = []int{512, 4096}
+	res, err := RunUpdateCost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	small, big := res.Points[0], res.Points[1]
+	// AGMS cost must grow roughly with space (8x here; require ≥ 3x to
+	// stay robust under timer noise). Hash-sketch cost must stay flat
+	// (allow 2.5x slack).
+	if big.AGMSNsPerOp < 3*small.AGMSNsPerOp {
+		t.Fatalf("AGMS cost should scale with space: %.1f → %.1f ns", small.AGMSNsPerOp, big.AGMSNsPerOp)
+	}
+	if big.HashNsPerOp > 2.5*small.HashNsPerOp+200 {
+		t.Fatalf("hash-sketch cost should stay flat: %.1f → %.1f ns", small.HashNsPerOp, big.HashNsPerOp)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "BasicAGMS") {
+		t.Fatal("table missing header")
+	}
+}
+
+func TestRunUpdateCostValidation(t *testing.T) {
+	if _, err := RunUpdateCost(UpdateCostConfig{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	cfg := AblationConfig{
+		Domain:     1 << 10,
+		StreamLen:  20000,
+		Shift:      20,
+		Zipfs:      []float64{1.3},
+		SpaceWords: []int{640},
+		Seeds:      2,
+		Tables:     5,
+	}
+	res, err := RunAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(res.Series))
+	}
+	var on, off float64 = -1, -1
+	for _, s := range res.Series {
+		if strings.HasPrefix(s.Label, "Skim") && !strings.HasPrefix(s.Label, "NoSkim") {
+			on = s.Points[0].Err
+		}
+		if strings.HasPrefix(s.Label, "NoSkim") {
+			off = s.Points[0].Err
+		}
+	}
+	if on < 0 || off < 0 {
+		t.Fatalf("missing series: %+v", res.Series)
+	}
+	if on > off {
+		t.Fatalf("skimming (%.4f) should not hurt versus no-skim (%.4f) at high skew", on, off)
+	}
+}
+
+func TestRunAblationValidation(t *testing.T) {
+	if _, err := RunAblation(AblationConfig{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+// TestDefaultConfigsValidate: every packaged configuration must pass its
+// own validation and keep the documented paper relationships.
+func TestDefaultConfigsValidate(t *testing.T) {
+	for _, c := range []Fig5Config{DefaultFig5a(), DefaultFig5b(), PaperFig5a(), PaperFig5b()} {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("config %+v invalid: %v", c, err)
+		}
+	}
+	if DefaultFig5a().Zipf != 1.0 || DefaultFig5b().Zipf != 1.5 {
+		t.Fatal("figure skews wrong")
+	}
+	if PaperFig5a().Domain != 1<<18 || PaperFig5a().StreamLen != 4000000 {
+		t.Fatal("paper-scale constants wrong")
+	}
+	if c := DefaultCensus(); c.Records <= 0 || len(c.SpaceWords) == 0 {
+		t.Fatal("census defaults wrong")
+	}
+	if c := DefaultUpdateCost(); c.Elements <= 0 || c.Tables <= 0 {
+		t.Fatal("update-cost defaults wrong")
+	}
+	if c := DefaultAblation(); len(c.Zipfs) == 0 || c.Seeds <= 0 {
+		t.Fatal("ablation defaults wrong")
+	}
+	if c := DefaultSkewSweep(); len(c.Zipfs) == 0 || c.SpaceWords <= 0 {
+		t.Fatal("skew sweep defaults wrong")
+	}
+	if c := DefaultThresholdSweep(); len(c.Multipliers) == 0 {
+		t.Fatal("threshold sweep defaults wrong")
+	}
+}
+
+func TestShapeGrids(t *testing.T) {
+	shapes := agmsShapes(100, []int{11, 200})
+	if len(shapes) != 1 || shapes[0] != [2]int{9, 11} {
+		t.Fatalf("agmsShapes = %v", shapes)
+	}
+	hs := hashShapes(100, []int{5, 7})
+	if len(hs) != 2 || hs[0] != [2]int{5, 20} || hs[1] != [2]int{7, 14} {
+		t.Fatalf("hashShapes = %v", hs)
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	seen := make([]bool, 100)
+	parallelFor(100, func(i int) { seen[i] = true })
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+	parallelFor(0, func(int) { t.Fatal("must not be called") })
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+
+	"skimsketch/internal/agms"
+	"skimsketch/internal/core"
+	"skimsketch/internal/partition"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+// Fig5Config parameterizes the synthetic-data experiments of Figures 5(a)
+// and 5(b): a Zipf(z) stream joined with a right-shifted Zipf(z) stream.
+type Fig5Config struct {
+	Domain     uint64   // m; the paper uses 2^18
+	StreamLen  int      // n per stream; the paper uses 4,000,000
+	Zipf       float64  // z; 1.0 for Fig 5(a), 1.5 for Fig 5(b)
+	Shifts     []uint64 // shift parameters; {100,200,300} / {30,50}
+	SpaceWords []int    // space budgets (total counter words per sketch)
+	Seeds      int      // independent repetitions per configuration
+	AGMSRows   []int    // s2 grid for basic AGMS shape averaging
+	SkimTables []int    // d grid for hash-sketch shape averaging
+	// IncludePartitioned adds the Dobra et al. sketch-partitioning
+	// baseline, granted the exact frequency vectors as its a-priori
+	// statistics (its best case, and exactly the prior knowledge the
+	// paper criticizes it for needing).
+	IncludePartitioned bool
+}
+
+// DefaultFig5a returns a laptop-scale configuration with the paper's
+// shape: Zipf 1.0, shifts {100, 200, 300}. Domain and stream length are
+// scaled down 16x so the whole figure regenerates in seconds; the
+// crossover structure is preserved (see EXPERIMENTS.md). PaperFig5a is
+// the full-scale variant.
+func DefaultFig5a() Fig5Config {
+	return Fig5Config{
+		Domain:     1 << 14,
+		StreamLen:  250000,
+		Zipf:       1.0,
+		Shifts:     []uint64{100, 200, 300},
+		SpaceWords: []int{640, 1280, 2560, 5120, 10240},
+		Seeds:      3,
+		AGMSRows:   []int{11, 35, 59},
+		SkimTables: []int{5, 7, 9},
+	}
+}
+
+// DefaultFig5b is the laptop-scale Figure 5(b): Zipf 1.5, shifts {30, 50}.
+func DefaultFig5b() Fig5Config {
+	c := DefaultFig5a()
+	c.Zipf = 1.5
+	c.Shifts = []uint64{30, 50}
+	return c
+}
+
+// PaperFig5a is the full paper-scale Figure 5(a) configuration
+// (m = 2^18, n = 4M, 5 seeds, the complete shape grids). Expect minutes
+// of runtime.
+func PaperFig5a() Fig5Config {
+	return Fig5Config{
+		Domain:     1 << 18,
+		StreamLen:  4000000,
+		Zipf:       1.0,
+		Shifts:     []uint64{100, 200, 300},
+		SpaceWords: []int{1280, 2560, 5120, 10240, 14750},
+		Seeds:      5,
+		AGMSRows:   []int{11, 23, 35, 47, 59},
+		SkimTables: []int{5, 7, 9, 11},
+	}
+}
+
+// PaperFig5b is the full paper-scale Figure 5(b) configuration.
+func PaperFig5b() Fig5Config {
+	c := PaperFig5a()
+	c.Zipf = 1.5
+	c.Shifts = []uint64{30, 50}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Fig5Config) Validate() error {
+	if c.Domain == 0 || c.StreamLen <= 0 || c.Seeds <= 0 {
+		return fmt.Errorf("experiments: domain, stream length and seeds must be positive")
+	}
+	if len(c.Shifts) == 0 || len(c.SpaceWords) == 0 || len(c.AGMSRows) == 0 || len(c.SkimTables) == 0 {
+		return fmt.Errorf("experiments: shifts, spaces and shape grids must be non-empty")
+	}
+	return nil
+}
+
+// RunFig5 regenerates one of the paper's figures: for every shift it
+// produces one basic-AGMS series and one skimmed-sketch series of mean
+// symmetric error versus space.
+func RunFig5(cfg Fig5Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	acc := newSeriesAccumulator()
+
+	type trial struct {
+		shift uint64
+		seed  int
+	}
+	var trials []trial
+	for _, sh := range cfg.Shifts {
+		for s := 0; s < cfg.Seeds; s++ {
+			trials = append(trials, trial{shift: sh, seed: s})
+		}
+	}
+
+	var errOnce errCapture
+	parallelFor(len(trials), func(i int) {
+		tr := trials[i]
+		if err := runFig5Trial(cfg, tr.shift, tr.seed, acc); err != nil {
+			errOnce.set(err)
+		}
+	})
+	if err := errOnce.get(); err != nil {
+		return Result{}, err
+	}
+
+	return Result{
+		Name: fmt.Sprintf("Basic AGMS versus Skimmed Sketches, Zipf=%.1f", cfg.Zipf),
+		Notes: fmt.Sprintf("domain=%d streamLen=%d seeds=%d; error = max(est/J, J/est)-1 averaged over seeds and sketch shapes",
+			cfg.Domain, cfg.StreamLen, cfg.Seeds),
+		Series: acc.series(),
+	}, nil
+}
+
+func runFig5Trial(cfg Fig5Config, shift uint64, seed int, acc *seriesAccumulator) error {
+	// Data seeds differ per (shift, seed) so repetitions are independent.
+	base := int64(seed)*1000 + int64(shift)
+	zf, err := workload.NewZipf(cfg.Domain, cfg.Zipf, base+1)
+	if err != nil {
+		return err
+	}
+	zg, err := workload.NewZipf(cfg.Domain, cfg.Zipf, base+2)
+	if err != nil {
+		return err
+	}
+	fv, gv := stream.NewFreqVector(), stream.NewFreqVector()
+	for i := 0; i < cfg.StreamLen; i++ {
+		fv.Update(zf.Next(), 1)
+	}
+	sg := workload.NewShifted(zg, shift)
+	for i := 0; i < cfg.StreamLen; i++ {
+		gv.Update(sg.Next(), 1)
+	}
+	exact := float64(fv.InnerProduct(gv))
+
+	agmsLabel := fmt.Sprintf("BasicAGMS shift=%d", shift)
+	skimLabel := fmt.Sprintf("Skimmed shift=%d", shift)
+
+	for _, space := range cfg.SpaceWords {
+		sketchSeed := uint64(seed)*1_000_003 + uint64(shift)*31 + uint64(space)
+		for _, sh := range agmsShapes(space, cfg.AGMSRows) {
+			fs := agms.MustNew(sh[0], sh[1], sketchSeed)
+			gs := agms.MustNew(sh[0], sh[1], sketchSeed)
+			chargeAGMS(fs, fv)
+			chargeAGMS(gs, gv)
+			est, err := agms.JoinEstimate(fs, gs)
+			if err != nil {
+				return err
+			}
+			acc.add(agmsLabel, space, float64(est), exact)
+		}
+		for _, sh := range hashShapes(space, cfg.SkimTables) {
+			c := core.Config{Tables: sh[0], Buckets: sh[1], Seed: sketchSeed}
+			fs := core.MustNewHashSketch(c)
+			gs := core.MustNewHashSketch(c)
+			chargeHash(fs, fv)
+			chargeHash(gs, gv)
+			est, err := core.EstimateJoin(fs, gs, cfg.Domain, nil)
+			if err != nil {
+				return err
+			}
+			acc.add(skimLabel, space, float64(est.Total), exact)
+		}
+		if cfg.IncludePartitioned {
+			est, err := runPartitioned(fv, gv, cfg.Domain, space, sketchSeed)
+			if err != nil {
+				return err
+			}
+			acc.add(fmt.Sprintf("Partitioned shift=%d", shift), space, float64(est), exact)
+		}
+	}
+	return nil
+}
+
+// runPartitioned charges a Dobra-style partitioned pair at the given
+// space budget: an eighth of the words (capped at 128) isolate the
+// heaviest values exactly, the rest is one AGMS residue pair.
+func runPartitioned(fv, gv stream.FreqVector, domain uint64, space int, seed uint64) (int64, error) {
+	singles := space / 8
+	if singles > 128 {
+		singles = 128
+	}
+	const s2 = 5
+	s1 := (space - singles) / s2
+	if s1 < 1 {
+		s1 = 1
+	}
+	p, err := partition.NewPair(fv, gv, domain, partition.Config{
+		Singletons: singles,
+		ResidueS1:  s1,
+		ResidueS2:  s2,
+		Seed:       seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for v, w := range fv {
+		p.UpdateF(v, w)
+	}
+	for v, w := range gv {
+		p.UpdateG(v, w)
+	}
+	return p.Estimate()
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"skimsketch/internal/agms"
+	"skimsketch/internal/core"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+// SkewSweepConfig parameterizes the skew sweep: error of both methods as
+// the Zipf parameter grows at fixed space, quantifying the paper's
+// "improvement ranging from a factor of five to several orders of
+// magnitude" as a single curve.
+type SkewSweepConfig struct {
+	Domain     uint64
+	StreamLen  int
+	Shift      uint64
+	Zipfs      []float64
+	SpaceWords int
+	Seeds      int
+	AGMSRows   int
+	SkimTables int
+}
+
+// DefaultSkewSweep sweeps z from 0.6 to 1.6 at 5120 words.
+func DefaultSkewSweep() SkewSweepConfig {
+	return SkewSweepConfig{
+		Domain:     1 << 14,
+		StreamLen:  250000,
+		Shift:      50,
+		Zipfs:      []float64{0.6, 0.8, 1.0, 1.2, 1.4, 1.6},
+		SpaceWords: 5120,
+		Seeds:      3,
+		AGMSRows:   11,
+		SkimTables: 7,
+	}
+}
+
+// RunSkewSweep produces one AGMS and one skimmed series of mean error
+// versus skew. The Point.SpaceWords field carries 100·z so the generic
+// table writer can render the sweep (the label records the encoding).
+func RunSkewSweep(cfg SkewSweepConfig) (Result, error) {
+	if cfg.Domain == 0 || cfg.StreamLen <= 0 || cfg.Seeds <= 0 || len(cfg.Zipfs) == 0 {
+		return Result{}, fmt.Errorf("experiments: skew sweep config must be positive and non-empty")
+	}
+	acc := newSeriesAccumulator()
+	var errOnce errCapture
+
+	type trial struct {
+		z    float64
+		seed int
+	}
+	var trials []trial
+	for _, z := range cfg.Zipfs {
+		for s := 0; s < cfg.Seeds; s++ {
+			trials = append(trials, trial{z: z, seed: s})
+		}
+	}
+	parallelFor(len(trials), func(i int) {
+		tr := trials[i]
+		fv, gv, err := shiftedZipfPair(cfg.Domain, tr.z, cfg.Shift, cfg.StreamLen, int64(tr.seed))
+		if err != nil {
+			errOnce.set(err)
+			return
+		}
+		exact := float64(fv.InnerProduct(gv))
+		key := int(tr.z * 100) // sweep axis rendered through SpaceWords
+		sketchSeed := uint64(tr.seed)*31 + uint64(key)
+
+		af := agms.MustNew(cfg.SpaceWords/cfg.AGMSRows, cfg.AGMSRows, sketchSeed)
+		ag := agms.MustNew(cfg.SpaceWords/cfg.AGMSRows, cfg.AGMSRows, sketchSeed)
+		chargeAGMS(af, fv)
+		chargeAGMS(ag, gv)
+		a, err := agms.JoinEstimate(af, ag)
+		if err != nil {
+			errOnce.set(err)
+			return
+		}
+		acc.add("BasicAGMS", key, float64(a), exact)
+
+		c := core.Config{Tables: cfg.SkimTables, Buckets: cfg.SpaceWords / cfg.SkimTables, Seed: sketchSeed}
+		hf := core.MustNewHashSketch(c)
+		hg := core.MustNewHashSketch(c)
+		chargeHash(hf, fv)
+		chargeHash(hg, gv)
+		e, err := core.EstimateJoin(hf, hg, cfg.Domain, nil)
+		if err != nil {
+			errOnce.set(err)
+			return
+		}
+		acc.add("Skimmed", key, float64(e.Total), exact)
+	})
+	if err := errOnce.get(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Name: "Skew sweep: error vs Zipf parameter at fixed space",
+		Notes: fmt.Sprintf("x-axis column is 100*z; space=%d words, shift=%d, streamLen=%d, seeds=%d",
+			cfg.SpaceWords, cfg.Shift, cfg.StreamLen, cfg.Seeds),
+		Series: acc.series(),
+	}, nil
+}
+
+// ThresholdSweepConfig parameterizes the skim-threshold sensitivity
+// ablation: the estimator with T = multiplier · (n/√b) for a range of
+// multipliers, testing the Θ(n/√b) choice of Sections 3–4.
+type ThresholdSweepConfig struct {
+	Domain      uint64
+	StreamLen   int
+	Zipf        float64
+	Shift       uint64
+	SpaceWords  int
+	Tables      int
+	Multipliers []float64 // scale factors on the default threshold
+	Seeds       int
+}
+
+// DefaultThresholdSweep sweeps multipliers 0.25x–8x around the default.
+func DefaultThresholdSweep() ThresholdSweepConfig {
+	return ThresholdSweepConfig{
+		Domain:      1 << 14,
+		StreamLen:   250000,
+		Zipf:        1.2,
+		Shift:       50,
+		SpaceWords:  2560,
+		Tables:      7,
+		Multipliers: []float64{0.25, 0.5, 1, 2, 4, 8},
+		Seeds:       3,
+	}
+}
+
+// RunThresholdSweep produces one series whose x-axis (SpaceWords column)
+// carries 100·multiplier.
+func RunThresholdSweep(cfg ThresholdSweepConfig) (Result, error) {
+	if cfg.Domain == 0 || cfg.StreamLen <= 0 || cfg.Seeds <= 0 || len(cfg.Multipliers) == 0 {
+		return Result{}, fmt.Errorf("experiments: threshold sweep config must be positive and non-empty")
+	}
+	acc := newSeriesAccumulator()
+	var errOnce errCapture
+
+	parallelFor(cfg.Seeds, func(seed int) {
+		fv, gv, err := shiftedZipfPair(cfg.Domain, cfg.Zipf, cfg.Shift, cfg.StreamLen, int64(seed))
+		if err != nil {
+			errOnce.set(err)
+			return
+		}
+		exact := float64(fv.InnerProduct(gv))
+		c := core.Config{Tables: cfg.Tables, Buckets: cfg.SpaceWords / cfg.Tables, Seed: uint64(seed) + 71}
+		hf := core.MustNewHashSketch(c)
+		hg := core.MustNewHashSketch(c)
+		chargeHash(hf, fv)
+		chargeHash(hg, gv)
+		base := hf.DefaultSkimThreshold()
+		for _, mul := range cfg.Multipliers {
+			thr := int64(float64(base) * mul)
+			if thr < 1 {
+				thr = 1
+			}
+			est, err := core.EstimateJoin(hf, hg, cfg.Domain, &core.Options{ThresholdF: thr, ThresholdG: thr})
+			if err != nil {
+				errOnce.set(err)
+				return
+			}
+			acc.add("Skimmed", int(mul*100), float64(est.Total), exact)
+		}
+	})
+	if err := errOnce.get(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Name: "Threshold sensitivity: error vs skim-threshold multiplier",
+		Notes: fmt.Sprintf("x-axis column is 100*multiplier on T=n/sqrt(b); z=%.1f shift=%d space=%d seeds=%d",
+			cfg.Zipf, cfg.Shift, cfg.SpaceWords, cfg.Seeds),
+		Series: acc.series(),
+	}, nil
+}
+
+// shiftedZipfPair materializes the frequency vectors of a Zipf(z) stream
+// and its right-shifted partner.
+func shiftedZipfPair(domain uint64, z float64, shift uint64, n int, seed int64) (stream.FreqVector, stream.FreqVector, error) {
+	zf, err := workload.NewZipf(domain, z, seed*2+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	zg, err := workload.NewZipf(domain, z, seed*2+2)
+	if err != nil {
+		return nil, nil, err
+	}
+	fv, gv := stream.NewFreqVector(), stream.NewFreqVector()
+	for i := 0; i < n; i++ {
+		fv.Update(zf.Next(), 1)
+	}
+	sg := workload.NewShifted(zg, shift)
+	for i := 0; i < n; i++ {
+		gv.Update(sg.Next(), 1)
+	}
+	return fv, gv, nil
+}

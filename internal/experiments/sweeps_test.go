@@ -1,0 +1,93 @@
+package experiments
+
+import "testing"
+
+func TestRunSkewSweepValidation(t *testing.T) {
+	if _, err := RunSkewSweep(SkewSweepConfig{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestRunSkewSweep(t *testing.T) {
+	cfg := SkewSweepConfig{
+		Domain:     1 << 10,
+		StreamLen:  20000,
+		Shift:      20,
+		Zipfs:      []float64{0.8, 1.4},
+		SpaceWords: 640,
+		Seeds:      2,
+		AGMSRows:   5,
+		SkimTables: 5,
+	}
+	res, err := RunSkewSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series, want 2", len(res.Series))
+	}
+	var agms, skim *Series
+	for i := range res.Series {
+		switch res.Series[i].Label {
+		case "BasicAGMS":
+			agms = &res.Series[i]
+		case "Skimmed":
+			skim = &res.Series[i]
+		}
+	}
+	if agms == nil || skim == nil {
+		t.Fatalf("missing series: %+v", res.Series)
+	}
+	if len(agms.Points) != 2 || len(skim.Points) != 2 {
+		t.Fatalf("wrong point counts: %d / %d", len(agms.Points), len(skim.Points))
+	}
+	// X encoding: 100·z, sorted.
+	if agms.Points[0].SpaceWords != 80 || agms.Points[1].SpaceWords != 140 {
+		t.Fatalf("x-axis encoding wrong: %+v", agms.Points)
+	}
+	// At high skew the skimmed estimator must beat AGMS.
+	if skim.Points[1].Err >= agms.Points[1].Err {
+		t.Fatalf("at z=1.4 skimmed (%.4f) must beat AGMS (%.4f)",
+			skim.Points[1].Err, agms.Points[1].Err)
+	}
+}
+
+func TestRunThresholdSweepValidation(t *testing.T) {
+	if _, err := RunThresholdSweep(ThresholdSweepConfig{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestRunThresholdSweep(t *testing.T) {
+	cfg := ThresholdSweepConfig{
+		Domain:      1 << 10,
+		StreamLen:   30000,
+		Zipf:        1.3,
+		Shift:       20,
+		SpaceWords:  640,
+		Tables:      5,
+		Multipliers: []float64{0.5, 1, 16},
+		Seeds:       2,
+	}
+	res, err := RunThresholdSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 {
+		t.Fatalf("got %d series", len(res.Series))
+	}
+	pts := res.Series[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].SpaceWords != 50 || pts[1].SpaceWords != 100 || pts[2].SpaceWords != 1600 {
+		t.Fatalf("x-axis encoding wrong: %+v", pts)
+	}
+	// A 16x threshold skims nothing dense, so it should not beat the
+	// default by much; mostly we assert all errors are finite and sane.
+	for _, p := range pts {
+		if p.Err < 0 || p.Err > 10 {
+			t.Fatalf("error %v out of range", p.Err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"skimsketch/internal/agms"
+	"skimsketch/internal/core"
+	"skimsketch/internal/dyadic"
+	"skimsketch/internal/workload"
+)
+
+// UpdateCostConfig parameterizes the per-element processing-time
+// comparison backing the paper's complexity claim: maintaining a hash
+// sketch costs O(d) per element regardless of space, while basic AGMS
+// costs O(s1·s2) — proportional to the synopsis size.
+type UpdateCostConfig struct {
+	Domain     uint64
+	Elements   int // elements timed per measurement
+	SpaceWords []int
+	Tables     int // d for the hash sketch
+	AGMSRows   int // s2 for basic AGMS
+	DomainBits int // hierarchy depth for the dyadic variant
+	// Repeats takes the minimum over this many timed passes per
+	// measurement (default 3), which is robust against scheduler noise
+	// on shared machines.
+	Repeats int
+}
+
+// DefaultUpdateCost returns a configuration that runs in about a second.
+func DefaultUpdateCost() UpdateCostConfig {
+	return UpdateCostConfig{
+		Domain:     1 << 16,
+		Elements:   20000,
+		SpaceWords: []int{512, 1024, 2048, 4096, 8192},
+		Tables:     7,
+		AGMSRows:   11,
+		DomainBits: 16,
+	}
+}
+
+// UpdateCostPoint is one measurement: nanoseconds per stream element.
+type UpdateCostPoint struct {
+	SpaceWords    int
+	AGMSNsPerOp   float64
+	HashNsPerOp   float64
+	DyadicNsPerOp float64
+}
+
+// UpdateCostResult is the completed update-cost experiment.
+type UpdateCostResult struct {
+	Points []UpdateCostPoint
+}
+
+// WriteTable renders the measurements.
+func (r UpdateCostResult) WriteTable(w interface{ Write([]byte) (int, error) }) {
+	fmt.Fprintf(w, "# Per-element update cost (ns/element)\n")
+	fmt.Fprintf(w, "%-12s  %14s  %14s  %18s\n", "space(words)", "BasicAGMS", "HashSketch", "DyadicHierarchy")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-12d  %14.1f  %14.1f  %18.1f\n", p.SpaceWords, p.AGMSNsPerOp, p.HashNsPerOp, p.DyadicNsPerOp)
+	}
+}
+
+// RunUpdateCost measures wall-clock per-element maintenance cost of basic
+// AGMS, the hash sketch, and the dyadic hierarchy at each space budget.
+// The hash-sketch and dyadic costs should stay flat as space grows; the
+// AGMS cost should grow linearly with it.
+func RunUpdateCost(cfg UpdateCostConfig) (UpdateCostResult, error) {
+	if cfg.Elements <= 0 || len(cfg.SpaceWords) == 0 {
+		return UpdateCostResult{}, fmt.Errorf("experiments: update-cost config must have elements and spaces")
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 3
+	}
+	gen, err := workload.NewZipf(cfg.Domain, 1.0, 1)
+	if err != nil {
+		return UpdateCostResult{}, err
+	}
+	values := make([]uint64, cfg.Elements)
+	for i := range values {
+		values[i] = gen.Next()
+	}
+
+	var res UpdateCostResult
+	for _, space := range cfg.SpaceWords {
+		s1 := space / cfg.AGMSRows
+		if s1 < 1 {
+			s1 = 1
+		}
+		ag := agms.MustNew(s1, cfg.AGMSRows, 7)
+		hs := core.MustNewHashSketch(core.Config{Tables: cfg.Tables, Buckets: space / cfg.Tables, Seed: 7})
+		dy := dyadic.MustNew(cfg.DomainBits, core.Config{Tables: cfg.Tables, Buckets: space / cfg.Tables, Seed: 7})
+
+		res.Points = append(res.Points, UpdateCostPoint{
+			SpaceWords:    space,
+			AGMSNsPerOp:   timePerElement(values, cfg.Repeats, ag.Update),
+			HashNsPerOp:   timePerElement(values, cfg.Repeats, hs.Update),
+			DyadicNsPerOp: timePerElement(values, cfg.Repeats, dy.Update),
+		})
+	}
+	return res, nil
+}
+
+// timePerElement returns the minimum per-element time over `repeats`
+// passes; the minimum is the standard noise-robust statistic for
+// microbenchmarks on shared machines.
+func timePerElement(values []uint64, repeats int, update func(uint64, int64)) float64 {
+	best := math.Inf(1)
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		for _, v := range values {
+			update(v, 1)
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(len(values))
+		if ns < best {
+			best = ns
+		}
+	}
+	return best
+}

@@ -1,0 +1,84 @@
+package hashfam
+
+import (
+	"math"
+	"testing"
+)
+
+// Empirical moment tests for the four-wise family — the properties the
+// AMS variance analysis actually consumes. Each expectation is taken
+// over independently drawn families (the randomness of the
+// construction), with tolerance a few standard errors of the mean.
+
+// TestFourWiseTripleProductsVanish: E[ξ(a)ξ(b)ξ(c)] = 0 for distinct
+// a, b, c (three-wise independence consequence).
+func TestFourWiseTripleProductsVanish(t *testing.T) {
+	s := NewSeedStream(321)
+	const fams = 1600
+	sum := 0.0
+	for i := 0; i < fams; i++ {
+		f := NewFourWise(s)
+		sum += float64(f.Sign(2) * f.Sign(19) * f.Sign(501))
+	}
+	mean := sum / fams
+	if sem := 1 / math.Sqrt(fams); math.Abs(mean) > 4*sem {
+		t.Fatalf("mean triple product %.4f beyond 4 SEM %.4f", mean, 4/math.Sqrt(fams))
+	}
+}
+
+// TestFourWiseQuadProductsVanish: E[ξ(a)ξ(b)ξ(c)ξ(d)] = 0 for four
+// distinct values — the defining four-wise property that bounds the AMS
+// estimator variance.
+func TestFourWiseQuadProductsVanish(t *testing.T) {
+	s := NewSeedStream(654)
+	const fams = 1600
+	sum := 0.0
+	for i := 0; i < fams; i++ {
+		f := NewFourWise(s)
+		sum += float64(f.Sign(2) * f.Sign(19) * f.Sign(501) * f.Sign(90001))
+	}
+	mean := sum / fams
+	if sem := 1 / math.Sqrt(fams); math.Abs(mean) > 4*sem {
+		t.Fatalf("mean quad product %.4f beyond 4 SEM %.4f", mean, 4/math.Sqrt(fams))
+	}
+}
+
+// TestFourWisePairedSquaresAreOne: E[ξ(a)²ξ(b)²] = 1 exactly — the
+// surviving diagonal terms in the variance computation.
+func TestFourWisePairedSquaresAreOne(t *testing.T) {
+	s := NewSeedStream(987)
+	for i := 0; i < 200; i++ {
+		f := NewFourWise(s)
+		if v := f.Sign(5) * f.Sign(5) * f.Sign(9) * f.Sign(9); v != 1 {
+			t.Fatalf("ξ² products must be exactly 1, got %d", v)
+		}
+	}
+}
+
+// TestAMSVarianceBound: the empirical variance of a single atomic-sketch
+// self-join estimate X² respects Var[X²] ≤ 2·F2² + o(·). Planted
+// two-value frequency vector, analytic F2.
+func TestAMSVarianceBound(t *testing.T) {
+	s := NewSeedStream(1111)
+	const f1, f2 = 30.0, 40.0
+	const exactF2 = f1*f1 + f2*f2 // 2500
+	const fams = 3000
+	var sum, sumSq float64
+	for i := 0; i < fams; i++ {
+		f := NewFourWise(s)
+		x := f1*float64(f.Sign(3)) + f2*float64(f.Sign(77))
+		est := x * x
+		sum += est
+		sumSq += est * est
+	}
+	mean := sum / fams
+	variance := sumSq/fams - mean*mean
+	if math.Abs(mean-exactF2)/exactF2 > 0.05 {
+		t.Fatalf("mean X² = %.1f, want ≈ %.0f (unbiasedness)", mean, exactF2)
+	}
+	// Var[X²] = 2(F2² − Σf⁴) = 2(2500² − (30⁴+40⁴)) here; just check the
+	// ≤ 2·F2² bound with slack.
+	if bound := 2 * exactF2 * exactF2; variance > bound*1.1 {
+		t.Fatalf("variance %.0f exceeds AMS bound %.0f", variance, bound)
+	}
+}

@@ -1,0 +1,85 @@
+package hashfam
+
+import "testing"
+
+func TestMultiplyShiftRange(t *testing.T) {
+	s := NewSeedStream(1)
+	for _, bits := range []int{1, 4, 10, 20} {
+		h := NewMultiplyShift(s, bits)
+		if h.Buckets() != 1<<bits {
+			t.Fatalf("Buckets = %d, want %d", h.Buckets(), 1<<bits)
+		}
+		for x := uint64(0); x < 10000; x++ {
+			b := h.Bucket(x)
+			if b < 0 || b >= 1<<bits {
+				t.Fatalf("bits=%d: bucket %d out of range", bits, b)
+			}
+		}
+	}
+}
+
+func TestMultiplyShiftPanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultiplyShift(NewSeedStream(1), 0)
+}
+
+func TestMultiplyShiftOddMultiplier(t *testing.T) {
+	s := NewSeedStream(7)
+	for i := 0; i < 100; i++ {
+		h := NewMultiplyShift(s, 8)
+		if h.a&1 == 0 {
+			t.Fatal("multiplier must be odd")
+		}
+	}
+}
+
+func TestMultiplyShiftUniformity(t *testing.T) {
+	s := NewSeedStream(99)
+	h := NewMultiplyShift(s, 6) // 64 buckets
+	const n = 64 * 1000
+	counts := make([]int, 64)
+	for x := uint64(0); x < n; x++ {
+		counts[h.Bucket(x)]++
+	}
+	expected := float64(n) / 64
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 150 {
+		t.Fatalf("chi-squared %.1f too large", chi2)
+	}
+}
+
+// TestMultiplyShiftCollisionRate: empirical pairwise collision rate must
+// respect the 2-universal bound 2/m.
+func TestMultiplyShiftCollisionRate(t *testing.T) {
+	s := NewSeedStream(5)
+	const m = 256
+	const pairs = 20000
+	collisions := 0
+	for i := 0; i < pairs; i++ {
+		h := NewMultiplyShift(s, 8)
+		if h.Bucket(uint64(2*i)) == h.Bucket(uint64(2*i+1)) {
+			collisions++
+		}
+	}
+	rate := float64(collisions) / pairs
+	if rate > 2.0/m*1.5 {
+		t.Fatalf("collision rate %.5f exceeds 2-universal bound %.5f", rate, 2.0/m)
+	}
+}
+
+func BenchmarkMultiplyShiftBucket(b *testing.B) {
+	h := NewMultiplyShift(NewSeedStream(1), 10)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += h.Bucket(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,145 @@
+package monitor
+
+import (
+	"testing"
+
+	"skimsketch/internal/core"
+)
+
+func sketchCfg() core.Config { return core.Config{Tables: 5, Buckets: 64, Seed: 3} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(sketchCfg(), Config{Domain: 0, Every: 1}); err == nil {
+		t.Fatal("expected domain error")
+	}
+	if _, err := New(sketchCfg(), Config{Domain: 16, Every: 0}); err == nil {
+		t.Fatal("expected cadence error")
+	}
+	if _, err := New(sketchCfg(), Config{Domain: 16, Every: 1, High: 5, Low: 9}); err == nil {
+		t.Fatal("expected watermark error")
+	}
+	if _, err := New(core.Config{}, Config{Domain: 16, Every: 1}); err == nil {
+		t.Fatal("expected sketch-config error")
+	}
+}
+
+func TestAlertRaiseAndClearWithHysteresis(t *testing.T) {
+	var transitions []Sample
+	m, err := New(sketchCfg(), Config{
+		Domain: 64, Every: 1, High: 100, Low: 20,
+		OnTransition: func(s Sample) { transitions = append(transitions, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f_7 grows while g_7 = 10: estimate = 10·f_7 (single-value exactness).
+	if err := m.UpdateG(7, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != Normal {
+		t.Fatal("should start normal")
+	}
+	// f_7 = 5 → 50: still below High.
+	if err := m.UpdateF(7, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != Normal {
+		t.Fatal("50 < High must stay normal")
+	}
+	// f_7 = 15 → 150: crosses High.
+	if err := m.UpdateF(7, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != Alert {
+		t.Fatal("150 ≥ High must alert")
+	}
+	// Drop to 50: inside the hysteresis band, alert holds.
+	if err := m.UpdateF(7, -10); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != Alert {
+		t.Fatal("50 > Low must hold the alert")
+	}
+	// Drop to 10: clears.
+	if err := m.UpdateF(7, -4); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != Normal {
+		t.Fatal("10 ≤ Low must clear")
+	}
+	if len(transitions) != 2 || transitions[0].State != Alert || transitions[1].State != Normal {
+		t.Fatalf("transitions = %+v", transitions)
+	}
+}
+
+func TestCadence(t *testing.T) {
+	samples := 0
+	m, err := New(sketchCfg(), Config{Domain: 64, Every: 10, High: 1 << 60,
+		OnTransition: func(Sample) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 35; i++ {
+		if err := m.UpdateF(uint64(i%16), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples = len(m.History())
+	if samples != 3 {
+		t.Fatalf("got %d samples for 35 updates at Every=10, want 3", samples)
+	}
+	if m.Updates() != 35 {
+		t.Fatalf("Updates = %d", m.Updates())
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	m, err := New(sketchCfg(), Config{Domain: 64, Every: 1, High: 1 << 60, HistoryLimit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		m.UpdateF(1, 1)
+	}
+	h := m.History()
+	if len(h) != 5 {
+		t.Fatalf("history length %d, want 5", len(h))
+	}
+	if h[4].At != 20 {
+		t.Fatalf("latest sample At = %d, want 20", h[4].At)
+	}
+	// History must be a copy.
+	h[0].Estimate = -1
+	if m.History()[0].Estimate == -1 {
+		t.Fatal("History must return a copy")
+	}
+}
+
+func TestManualSample(t *testing.T) {
+	m, err := New(sketchCfg(), Config{Domain: 64, Every: 1000, High: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.UpdateF(3, 4)
+	m.UpdateG(3, 4)
+	s, err := m.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Estimate != 16 {
+		t.Fatalf("estimate = %d, want 16", s.Estimate)
+	}
+	if s.State != Alert {
+		t.Fatal("16 ≥ High must alert")
+	}
+	f, g := m.Sketches()
+	if f.NetCount() != 4 || g.NetCount() != 4 {
+		t.Fatal("Sketches must expose the pair")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Normal.String() != "normal" || Alert.String() != "ALERT" {
+		t.Fatal("state names")
+	}
+}

@@ -1,0 +1,182 @@
+// Package query lifts the sketch machinery to the query classes the
+// paper claims beyond plain binary-join COUNT (Sections 1–2):
+//
+//   - SUM aggregates: SUM_M(F ⋈ G) is a COUNT over a derived stream in
+//     which each G element is repeated "measure" times, i.e. a weighted
+//     sketch update (SumEstimator);
+//   - selection predicates: elements failing the predicate are dropped
+//     before reaching the synopsis (Filtered);
+//   - multi-join aggregates: COUNT(R ⋈_A S ⋈_B T) via the two-dimensional
+//     atomic sketches of Dobra, Garofalakis, Gehrke & Rastogi (SIGMOD
+//     2002), with one ξ family per join attribute (Chain).
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/hashfam"
+	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
+)
+
+// SumEstimator estimates SUM_M(F ⋈ G) = Σ_v f_v · m_v, where m_v is the
+// total measure of G elements with join value v. F-side elements are
+// counted; G-side elements carry their measure as the update weight.
+type SumEstimator struct {
+	f, g   *core.HashSketch
+	domain uint64
+}
+
+// NewSumEstimator builds the paired sketches over [0, domain).
+func NewSumEstimator(domain uint64, cfg core.Config) (*SumEstimator, error) {
+	if domain == 0 {
+		return nil, fmt.Errorf("query: domain must be positive")
+	}
+	f, err := core.NewHashSketch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.NewHashSketch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SumEstimator{f: f, g: g, domain: domain}, nil
+}
+
+// UpdateFact records one F-side element (count semantics). A deletion is
+// weight −1 via UpdateFactWeighted.
+func (s *SumEstimator) UpdateFact(value uint64) { s.f.Update(value, 1) }
+
+// UpdateFactWeighted records an F-side element with an explicit weight.
+func (s *SumEstimator) UpdateFactWeighted(value uint64, weight int64) { s.f.Update(value, weight) }
+
+// UpdateMeasure records one G-side element with its measure; deleting an
+// element re-issues it with the negated measure.
+func (s *SumEstimator) UpdateMeasure(value uint64, measure int64) { s.g.Update(value, measure) }
+
+// Estimate runs the skimmed-sketch estimator on the weighted sketches.
+func (s *SumEstimator) Estimate() (core.Estimate, error) {
+	return core.EstimateJoin(s.f, s.g, s.domain, nil)
+}
+
+// ExactSum computes the reference answer from raw updates: facts carry
+// join values, measures carry (value, measure) pairs.
+func ExactSum(facts []stream.Update, measures []stream.Update) int64 {
+	f, m := stream.NewFreqVector(), stream.NewFreqVector()
+	stream.Apply(facts, f)
+	stream.Apply(measures, m)
+	return f.InnerProduct(m)
+}
+
+// Filtered wraps a sink with a selection predicate, implementing the
+// paper's predicate pushdown: "we simply drop from the streams, elements
+// that do not satisfy the predicates (prior to updating the synopses)".
+type Filtered struct {
+	Sink stream.Sink
+	Pred func(value uint64, weight int64) bool
+}
+
+// Update implements stream.Sink.
+func (f Filtered) Update(value uint64, weight int64) {
+	if f.Pred(value, weight) {
+		f.Sink.Update(value, weight)
+	}
+}
+
+// Chain estimates the two-join chain aggregate
+// COUNT(R(A) ⋈_A S(A, B) ⋈_B T(B)) = Σ_{a,b} r_a · s_{a,b} · t_b with an
+// s1 × s2 array of atomic sketch triples sharing per-attribute ξ
+// families: X_R = Σ_a r_a ξ₁(a), X_S = Σ_{a,b} s_{a,b} ξ₁(a)ξ₂(b),
+// X_T = Σ_b t_b ξ₂(b), and E[X_R·X_S·X_T] equals the chain size.
+type Chain struct {
+	s1, s2     int
+	xr, xs, xt []int64
+	xi1, xi2   []hashfam.FourWise
+}
+
+// NewChain returns an empty chain-sketch array.
+func NewChain(s1, s2 int, seed uint64) (*Chain, error) {
+	if s1 <= 0 || s2 <= 0 {
+		return nil, fmt.Errorf("query: chain dimensions must be positive, got s1=%d s2=%d", s1, s2)
+	}
+	ss := hashfam.NewSeedStream(seed)
+	n := s1 * s2
+	c := &Chain{
+		s1: s1, s2: s2,
+		xr: make([]int64, n), xs: make([]int64, n), xt: make([]int64, n),
+		xi1: make([]hashfam.FourWise, n), xi2: make([]hashfam.FourWise, n),
+	}
+	for i := 0; i < n; i++ {
+		c.xi1[i] = hashfam.NewFourWise(ss)
+		c.xi2[i] = hashfam.NewFourWise(ss)
+	}
+	return c, nil
+}
+
+// MustNewChain is NewChain for static configurations.
+func MustNewChain(s1, s2 int, seed uint64) *Chain {
+	c, err := NewChain(s1, s2, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// UpdateR folds one R-stream element with join value a.
+func (c *Chain) UpdateR(a uint64, w int64) {
+	for i := range c.xr {
+		c.xr[i] += w * c.xi1[i].Sign(a)
+	}
+}
+
+// UpdateS folds one S-stream element with join values (a, b).
+func (c *Chain) UpdateS(a, b uint64, w int64) {
+	for i := range c.xs {
+		c.xs[i] += w * c.xi1[i].Sign(a) * c.xi2[i].Sign(b)
+	}
+}
+
+// UpdateT folds one T-stream element with join value b.
+func (c *Chain) UpdateT(b uint64, w int64) {
+	for i := range c.xt {
+		c.xt[i] += w * c.xi2[i].Sign(b)
+	}
+}
+
+// Estimate returns the boosted chain-size estimate: median over s2 rows
+// of the mean over s1 columns of X_R·X_S·X_T.
+func (c *Chain) Estimate() int64 {
+	rows := make([]float64, c.s2)
+	for q := 0; q < c.s2; q++ {
+		sum := 0.0
+		for j := 0; j < c.s1; j++ {
+			i := q*c.s1 + j
+			sum += float64(c.xr[i]) * float64(c.xs[i]) * float64(c.xt[i])
+		}
+		rows[q] = sum / float64(c.s1)
+	}
+	return int64(math.Round(stats.MedianFloat64(rows)))
+}
+
+// Words returns the synopsis size in counter words (three per cell).
+func (c *Chain) Words() int { return 3 * c.s1 * c.s2 }
+
+// SPair is one S-stream element for ExactChain.
+type SPair struct {
+	A, B   uint64
+	Weight int64
+}
+
+// ExactChain computes the reference chain size Σ_{a,b} r_a·s_{a,b}·t_b.
+func ExactChain(r []stream.Update, s []SPair, t []stream.Update) int64 {
+	rf, tf := stream.NewFreqVector(), stream.NewFreqVector()
+	stream.Apply(r, rf)
+	stream.Apply(t, tf)
+	var total int64
+	for _, p := range s {
+		total += rf.Get(p.A) * p.Weight * tf.Get(p.B)
+	}
+	return total
+}

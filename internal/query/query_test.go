@@ -1,0 +1,206 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+func cfg(d, b int, seed uint64) core.Config { return core.Config{Tables: d, Buckets: b, Seed: seed} }
+
+func TestNewSumEstimatorValidation(t *testing.T) {
+	if _, err := NewSumEstimator(0, cfg(3, 8, 1)); err == nil {
+		t.Fatal("expected error for zero domain")
+	}
+	if _, err := NewSumEstimator(16, cfg(0, 8, 1)); err == nil {
+		t.Fatal("expected error for bad config")
+	}
+}
+
+func TestSumExactTiny(t *testing.T) {
+	s, err := NewSumEstimator(64, cfg(5, 32, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F: value 5 appears 3 times. G: value 5 carries measures 10 and 7.
+	for i := 0; i < 3; i++ {
+		s.UpdateFact(5)
+	}
+	s.UpdateMeasure(5, 10)
+	s.UpdateMeasure(5, 7)
+	s.UpdateMeasure(9, 100) // non-joining value
+	// Exact SUM = 3 × (10 + 7) = 51.
+	est, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total != 51 {
+		t.Fatalf("SUM estimate = %d, want 51", est.Total)
+	}
+}
+
+func TestSumMeasureDeletion(t *testing.T) {
+	s, _ := NewSumEstimator(64, cfg(5, 32, 3))
+	s.UpdateFact(5)
+	s.UpdateMeasure(5, 10)
+	s.UpdateMeasure(5, -10) // retract
+	est, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total != 0 {
+		t.Fatalf("SUM after retraction = %d, want 0", est.Total)
+	}
+}
+
+func TestSumAccuracySkewed(t *testing.T) {
+	const m, n = 1 << 10, 20000
+	s, _ := NewSumEstimator(m, cfg(7, 256, 17))
+	zf, _ := workload.NewZipf(m, 1.2, 3)
+	zg, _ := workload.NewZipf(m, 1.2, 4)
+	var facts, measures []stream.Update
+	for i := 0; i < n; i++ {
+		v := zf.Next()
+		facts = append(facts, stream.Insert(v))
+		s.UpdateFact(v)
+	}
+	mg := workload.NewUniform(20, 7)
+	for i := 0; i < n; i++ {
+		v := zg.Next()
+		measure := int64(mg.Next()) + 1
+		measures = append(measures, stream.Update{Value: v, Weight: measure})
+		s.UpdateMeasure(v, measure)
+	}
+	exact := ExactSum(facts, measures)
+	est, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.SymmetricError(float64(est.Total), float64(exact)); e > 0.3 {
+		t.Fatalf("SUM error %.4f too large (est %d vs exact %d)", e, est.Total, exact)
+	}
+}
+
+func TestUpdateFactWeighted(t *testing.T) {
+	s, _ := NewSumEstimator(16, cfg(3, 16, 1))
+	s.UpdateFactWeighted(2, 4)
+	s.UpdateMeasure(2, 5)
+	est, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total != 20 {
+		t.Fatalf("Total = %d, want 20", est.Total)
+	}
+}
+
+func TestFilteredSink(t *testing.T) {
+	fv := stream.NewFreqVector()
+	sink := Filtered{Sink: fv, Pred: func(v uint64, w int64) bool { return v%2 == 0 }}
+	stream.Apply([]stream.Update{stream.Insert(2), stream.Insert(3), stream.Insert(4)}, sink)
+	if fv.Get(2) != 1 || fv.Get(4) != 1 || fv.Get(3) != 0 {
+		t.Fatalf("predicate not applied: %v", fv)
+	}
+}
+
+func TestNewChainValidation(t *testing.T) {
+	if _, err := NewChain(0, 3, 1); err == nil {
+		t.Fatal("expected error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from MustNewChain")
+		}
+	}()
+	MustNewChain(-1, 1, 1)
+}
+
+func TestChainExactSingleValues(t *testing.T) {
+	// One value per stream: X products are exact (ξ² = 1).
+	c := MustNewChain(4, 5, 9)
+	c.UpdateR(3, 4)    // r_3 = 4
+	c.UpdateS(3, 8, 2) // s_{3,8} = 2
+	c.UpdateT(8, 5)    // t_8 = 5
+	if got := c.Estimate(); got != 40 {
+		t.Fatalf("chain estimate = %d, want 40", got)
+	}
+	if c.Words() != 3*4*5 {
+		t.Fatalf("Words = %d", c.Words())
+	}
+}
+
+func TestChainNonJoiningIsZeroInExpectation(t *testing.T) {
+	// r and t use disjoint attribute values from s: the exact chain is 0
+	// and the estimate should be near 0 relative to stream size.
+	c := MustNewChain(64, 7, 13)
+	c.UpdateR(1, 50)
+	c.UpdateS(2, 3, 50) // a=2 never joins r's a=1
+	c.UpdateT(3, 50)
+	got := c.Estimate()
+	if math.Abs(float64(got)) > 50*50*50/4 {
+		t.Fatalf("chain estimate %d too far from 0 for a non-joining chain", got)
+	}
+}
+
+func TestChainAccuracy(t *testing.T) {
+	const m = 64
+	rgen, _ := workload.NewZipf(m, 1.0, 5)
+	tgen, _ := workload.NewZipf(m, 1.0, 6)
+	agen, _ := workload.NewZipf(m, 1.0, 7)
+	bgen, _ := workload.NewZipf(m, 1.0, 8)
+
+	var r, tt []stream.Update
+	var s []SPair
+	c := MustNewChain(256, 9, 31)
+	for i := 0; i < 4000; i++ {
+		rv := rgen.Next()
+		r = append(r, stream.Insert(rv))
+		c.UpdateR(rv, 1)
+
+		tv := tgen.Next()
+		tt = append(tt, stream.Insert(tv))
+		c.UpdateT(tv, 1)
+
+		a, b := agen.Next(), bgen.Next()
+		s = append(s, SPair{A: a, B: b, Weight: 1})
+		c.UpdateS(a, b, 1)
+	}
+	exact := ExactChain(r, s, tt)
+	got := c.Estimate()
+	if e := stats.SymmetricError(float64(got), float64(exact)); e > 1.5 {
+		t.Fatalf("chain error %.3f too large (est %d vs exact %d)", e, got, exact)
+	}
+}
+
+func TestExactChainBruteForce(t *testing.T) {
+	r := []stream.Update{stream.Insert(1), stream.Insert(1), stream.Insert(2)}
+	s := []SPair{{A: 1, B: 5, Weight: 2}, {A: 2, B: 6, Weight: 1}, {A: 9, B: 5, Weight: 3}}
+	tt := []stream.Update{stream.Insert(5), stream.Insert(5), stream.Insert(6)}
+	// r_1=2, r_2=1; t_5=2, t_6=1.
+	// Contributions: (1,5): 2·2·2 = 8; (2,6): 1·1·1 = 1; (9,5): r_9=0.
+	if got := ExactChain(r, s, tt); got != 9 {
+		t.Fatalf("ExactChain = %d, want 9", got)
+	}
+}
+
+func TestChainDeleteInvariance(t *testing.T) {
+	a := MustNewChain(8, 3, 2)
+	b := MustNewChain(8, 3, 2)
+	a.UpdateR(1, 1)
+	a.UpdateS(1, 2, 1)
+	a.UpdateT(2, 1)
+	b.UpdateR(1, 1)
+	b.UpdateR(9, 1)
+	b.UpdateR(9, -1)
+	b.UpdateS(1, 2, 1)
+	b.UpdateS(4, 4, 2)
+	b.UpdateS(4, 4, -2)
+	b.UpdateT(2, 1)
+	if a.Estimate() != b.Estimate() {
+		t.Fatal("insert/delete noise must not change the chain estimate")
+	}
+}

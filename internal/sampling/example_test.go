@@ -1,0 +1,20 @@
+package sampling_test
+
+import (
+	"fmt"
+
+	"skimsketch/internal/sampling"
+)
+
+// Reservoir samples cannot survive deletions — the contrast with
+// sketches the paper draws (Section 1, property 2).
+func ExampleJoinEstimate() {
+	f, _ := sampling.NewReservoir(100, 1)
+	g, _ := sampling.NewReservoir(100, 2)
+	f.Update(7, 1)
+	f.Update(7, -1) // a delete poisons the sample
+	g.Update(7, 1)
+	_, err := sampling.JoinEstimate(f, g)
+	fmt.Println(err)
+	// Output: sampling: reservoir samples cannot process deletes
+}

@@ -1,0 +1,19 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"skimsketch/internal/stats"
+)
+
+// The paper's evaluation metric treats over- and under-estimates
+// symmetrically, unlike plain relative error.
+func ExampleSymmetricError() {
+	fmt.Printf("%.2f\n", stats.SymmetricError(200, 100)) // 2x over
+	fmt.Printf("%.2f\n", stats.SymmetricError(50, 100))  // 2x under
+	fmt.Printf("%.2f\n", stats.SymmetricError(-5, 100))  // nonsense estimate
+	// Output:
+	// 1.00
+	// 1.00
+	// 10.00
+}

@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkFreqVectorUpdate(b *testing.B) {
+	f := NewFreqVector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Update(uint64(i&16383), 1)
+	}
+}
+
+func BenchmarkInnerProduct(b *testing.B) {
+	f, g := NewFreqVector(), NewFreqVector()
+	for v := uint64(0); v < 10000; v++ {
+		f.Update(v, int64(v%7)+1)
+		g.Update(v*2, int64(v%5)+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.InnerProduct(g)
+	}
+}
+
+func BenchmarkWriteRecord(b *testing.B) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := Insert(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(u); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() > 1<<24 {
+			b.StopTimer()
+			buf.Reset()
+			b.StartTimer()
+		}
+	}
+}

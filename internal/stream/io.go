@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary stream-file format ("SKS1"): a 16-byte header (4-byte magic,
+// 4-byte version, 8-byte domain size) followed by 16-byte records of
+// (value uint64, weight int64), all little-endian. The format is
+// append-friendly: readers consume records until EOF.
+
+var magic = [4]byte{'S', 'K', 'S', '1'}
+
+const headerSize = 16
+
+// ErrBadMagic reports a file that is not a stream file.
+var ErrBadMagic = errors.New("stream: bad magic, not a SKS1 stream file")
+
+// Writer writes a stream file.
+type Writer struct {
+	w   *bufio.Writer
+	buf [16]byte
+	n   int64
+}
+
+// NewWriter writes the header for a stream over [0, domain) and returns a
+// Writer for its records.
+func NewWriter(w io.Writer, domain uint64) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], 1)
+	binary.LittleEndian.PutUint64(hdr[8:16], domain)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("stream: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one update record.
+func (w *Writer) Write(u Update) error {
+	binary.LittleEndian.PutUint64(w.buf[0:8], u.Value)
+	binary.LittleEndian.PutUint64(w.buf[8:16], uint64(u.Weight))
+	if _, err := w.w.Write(w.buf[:]); err != nil {
+		return fmt.Errorf("stream: writing record %d: %w", w.n, err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads a stream file.
+type Reader struct {
+	r      *bufio.Reader
+	domain uint64
+	buf    [16]byte
+}
+
+// NewReader validates the header and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("stream: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != 1 {
+		return nil, fmt.Errorf("stream: unsupported version %d", v)
+	}
+	return &Reader{r: br, domain: binary.LittleEndian.Uint64(hdr[8:16])}, nil
+}
+
+// Domain returns the domain size recorded in the header.
+func (r *Reader) Domain() uint64 { return r.domain }
+
+// Read returns the next update, or io.EOF when the stream is exhausted.
+func (r *Reader) Read() (Update, error) {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err == io.EOF {
+			return Update{}, io.EOF
+		}
+		return Update{}, fmt.Errorf("stream: reading record: %w", err)
+	}
+	return Update{
+		Value:  binary.LittleEndian.Uint64(r.buf[0:8]),
+		Weight: int64(binary.LittleEndian.Uint64(r.buf[8:16])),
+	}, nil
+}
+
+// ReadAll drains the reader into a slice.
+func (r *Reader) ReadAll() ([]Update, error) {
+	var out []Update
+	for {
+		u, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, u)
+	}
+}
+
+// WriteFile writes updates to path as a stream file.
+func WriteFile(path string, domain uint64, updates []Update) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	w, err := NewWriter(f, domain)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, u := range updates {
+		if err := w.Write(u); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a stream file written by WriteFile.
+func ReadFile(path string) (domain uint64, updates []Update, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("stream: %w", err)
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return 0, nil, err
+	}
+	updates, err = r.ReadAll()
+	return r.Domain(), updates, err
+}
+
+// Pipe streams a file's records straight into sinks without materializing
+// them, returning the number of records processed. This is the one-pass
+// path used by cmd/skimjoin.
+func Pipe(path string, sinks ...Sink) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("stream: %w", err)
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		u, err := r.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		for _, s := range sinks {
+			s.Update(u.Value, u.Weight)
+		}
+		n++
+	}
+}

@@ -1,0 +1,217 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFreqVectorBasics(t *testing.T) {
+	f := NewFreqVector()
+	f.Update(3, 1)
+	f.Update(3, 1)
+	f.Update(5, 4)
+	if got := f.Get(3); got != 2 {
+		t.Fatalf("Get(3) = %d, want 2", got)
+	}
+	if got := f.Get(5); got != 4 {
+		t.Fatalf("Get(5) = %d, want 4", got)
+	}
+	if got := f.Get(99); got != 0 {
+		t.Fatalf("Get(99) = %d, want 0", got)
+	}
+	if got := f.Support(); got != 2 {
+		t.Fatalf("Support = %d, want 2", got)
+	}
+	if got := f.L1(); got != 6 {
+		t.Fatalf("L1 = %d, want 6", got)
+	}
+	if got := f.SelfJoinSize(); got != 4+16 {
+		t.Fatalf("SelfJoinSize = %d, want 20", got)
+	}
+}
+
+func TestFreqVectorDeleteCancels(t *testing.T) {
+	f := NewFreqVector()
+	f.Update(7, 1)
+	f.Update(7, -1)
+	if f.Support() != 0 {
+		t.Fatal("insert followed by delete must leave empty support")
+	}
+	f.Update(8, -3)
+	if got := f.Get(8); got != -3 {
+		t.Fatalf("negative frequencies must be representable, got %d", got)
+	}
+	if got := f.L1(); got != 3 {
+		t.Fatalf("L1 of |-3| = %d, want 3", got)
+	}
+}
+
+func TestInnerProduct(t *testing.T) {
+	f := FreqVector{1: 2, 2: 3, 4: 1}
+	g := FreqVector{2: 5, 4: 4, 9: 100}
+	want := int64(3*5 + 1*4)
+	if got := f.InnerProduct(g); got != want {
+		t.Fatalf("InnerProduct = %d, want %d", got, want)
+	}
+	if got := g.InnerProduct(f); got != want {
+		t.Fatal("InnerProduct must be symmetric")
+	}
+	if got := f.InnerProduct(NewFreqVector()); got != 0 {
+		t.Fatalf("inner product with empty vector = %d, want 0", got)
+	}
+}
+
+func TestInnerProductSymmetryProperty(t *testing.T) {
+	f := func(av, bv []uint8, aw, bw []int8) bool {
+		a, b := NewFreqVector(), NewFreqVector()
+		for i, v := range av {
+			w := int64(1)
+			if i < len(aw) {
+				w = int64(aw[i])
+			}
+			a.Update(uint64(v), w)
+		}
+		for i, v := range bv {
+			w := int64(1)
+			if i < len(bw) {
+				w = int64(bw[i])
+			}
+			b.Update(uint64(v), w)
+		}
+		return a.InnerProduct(b) == b.InnerProduct(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfJoinEqualsInnerProductWithSelf(t *testing.T) {
+	f := func(vals []uint16) bool {
+		fv := NewFreqVector()
+		for _, v := range vals {
+			fv.Update(uint64(v%256), 1)
+		}
+		return fv.SelfJoinSize() == fv.InnerProduct(fv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDense(t *testing.T) {
+	f := FreqVector{1: 10, 2: 3, 3: -7, 4: 5}
+	d := f.Dense(5)
+	if len(d) != 3 || d[1] != 10 || d[3] != -7 || d[4] != 5 {
+		t.Fatalf("Dense(5) = %v", d)
+	}
+}
+
+func TestSubResidualIdentity(t *testing.T) {
+	// f = dense + (f − dense) must hold for any threshold.
+	f := func(vals []uint8, thr uint8) bool {
+		fv := NewFreqVector()
+		for _, v := range vals {
+			fv.Update(uint64(v%32), 1)
+		}
+		d := fv.Dense(int64(thr%8) + 1)
+		r := fv.Sub(d)
+		// recombine
+		back := r.Clone()
+		for v, w := range d {
+			back.Update(v, w)
+		}
+		if len(back) != len(fv) {
+			return false
+		}
+		for v, w := range fv {
+			if back[v] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactJoinSize(t *testing.T) {
+	fs := []Update{Insert(1), Insert(1), Insert(2), Delete(2)}
+	gs := []Update{Insert(1), Insert(3)}
+	if got := ExactJoinSize(fs, gs); got != 2 {
+		t.Fatalf("ExactJoinSize = %d, want 2", got)
+	}
+}
+
+func TestApplyFansOut(t *testing.T) {
+	a, b := NewFreqVector(), NewFreqVector()
+	Apply([]Update{Insert(1), Insert(2)}, a, b)
+	if a.Get(1) != 1 || b.Get(2) != 1 {
+		t.Fatal("Apply must feed every sink")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	us := []Update{Insert(1), Insert(10), Insert(3)}
+	got := Filter(us, func(u Update) bool { return u.Value < 5 })
+	if len(got) != 2 || got[0].Value != 1 || got[1].Value != 3 {
+		t.Fatalf("Filter = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]Update{Insert(3)}, 4); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := Validate([]Update{Insert(4)}, 4); err == nil {
+		t.Fatal("expected out-of-domain error")
+	}
+}
+
+func TestMaxValue(t *testing.T) {
+	f := NewFreqVector()
+	if _, ok := f.MaxValue(); ok {
+		t.Fatal("empty vector has no max")
+	}
+	f.Update(9, 1)
+	f.Update(4, 1)
+	if v, ok := f.MaxValue(); !ok || v != 9 {
+		t.Fatalf("MaxValue = %d,%v want 9,true", v, ok)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := FreqVector{1: 1}
+	c := f.Clone()
+	c.Update(1, 5)
+	if f.Get(1) != 1 {
+		t.Fatal("Clone must not alias the original")
+	}
+}
+
+func TestExactJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		var fs, gs []Update
+		nf, ng := rng.Intn(200), rng.Intn(200)
+		for i := 0; i < nf; i++ {
+			fs = append(fs, Insert(uint64(rng.Intn(50))))
+		}
+		for i := 0; i < ng; i++ {
+			gs = append(gs, Insert(uint64(rng.Intn(50))))
+		}
+		// brute force: count matching pairs
+		var brute int64
+		for _, a := range fs {
+			for _, b := range gs {
+				if a.Value == b.Value {
+					brute++
+				}
+			}
+		}
+		if got := ExactJoinSize(fs, gs); got != brute {
+			t.Fatalf("trial %d: ExactJoinSize = %d, brute force = %d", trial, got, brute)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadText(t *testing.T) {
+	in := `
+# comment
+42
+7,3
+
+  13 , -2
+`
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Update{{Value: 42, Weight: 1}, {Value: 7, Weight: 3}, {Value: 13, Weight: -2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("notanumber")); err == nil {
+		t.Fatal("expected value error")
+	}
+	if _, err := ReadText(strings.NewReader("1,notaweight")); err == nil {
+		t.Fatal("expected weight error")
+	}
+	if _, err := ReadText(strings.NewReader("3\nbad\n")); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatal("errors must carry line numbers")
+	}
+	if _, err := ReadText(strings.NewReader("-1")); err == nil {
+		t.Fatal("negative values must be rejected")
+	}
+}
+
+func TestWriteTextRoundTrip(t *testing.T) {
+	in := []Update{{Value: 1, Weight: 1}, {Value: 2, Weight: -5}, {Value: 3, Weight: 100}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Bare form for weight-1 inserts.
+	if !strings.HasPrefix(buf.String(), "1\n2,-5\n") {
+		t.Fatalf("unexpected rendering:\n%s", buf.String())
+	}
+	out, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestPipeText(t *testing.T) {
+	fv := NewFreqVector()
+	n, err := PipeText(strings.NewReader("5\n5\n9,4\n"), fv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("applied %d", n)
+	}
+	if fv.Get(5) != 2 || fv.Get(9) != 4 {
+		t.Fatalf("frequencies %v", fv)
+	}
+	if _, err := PipeText(strings.NewReader("x"), fv); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

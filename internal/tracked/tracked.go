@@ -1,0 +1,105 @@
+// Package tracked provides the third skimming strategy alongside the
+// reference domain scan (core.SkimDense) and the dyadic hierarchy
+// (dyadic.Skim): an online COUNTSKETCH heavy-hitter tracker rides along
+// with the hash sketch, so at query time the skim candidates are already
+// known and extraction costs O(k·d) — no domain scan, no extra log m
+// factor in update cost or memory. The trade is that the candidate set
+// is the tracker's top-k, so k must be sized at or above the expected
+// number of dense values (k ≥ √b is a safe default for the Θ(n/√b)
+// threshold, since at most √b values can exceed it... more precisely at
+// most n/T = √b values can have frequency ≥ T = n/√b).
+package tracked
+
+import (
+	"fmt"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/topk"
+)
+
+// Sketch couples a hash sketch with an online top-k tracker.
+type Sketch struct {
+	tracker *topk.Tracker
+	cfg     core.Config
+	k       int
+}
+
+// New returns a tracked sketch whose tracker retains k candidates. Two
+// tracked sketches with equal (k, cfg) form a join pair.
+func New(k int, cfg core.Config) (*Sketch, error) {
+	tr, err := topk.New(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{tracker: tr, cfg: cfg, k: k}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(k int, cfg core.Config) *Sketch {
+	s, err := New(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Update folds one stream element (sketch + tracker). It implements
+// stream.Sink; per-element cost is O(d + log k).
+func (s *Sketch) Update(value uint64, weight int64) {
+	s.tracker.Update(value, weight)
+}
+
+// Base exposes the underlying hash sketch.
+func (s *Sketch) Base() *core.HashSketch { return s.tracker.Sketch() }
+
+// Candidates returns the current tracked heavy-hitter values.
+func (s *Sketch) Candidates() []uint64 {
+	top := s.tracker.Top()
+	out := make([]uint64, len(top))
+	for i, e := range top {
+		out[i] = e.Value
+	}
+	return out
+}
+
+// Words returns the synopsis size in counter words (the tracker's heap
+// is 2k words of bookkeeping, charged here as k entries ≈ 2 words each).
+func (s *Sketch) Words() int { return s.Base().Words() + 2*s.k }
+
+// Compatible reports whether two tracked sketches form a join pair.
+func (s *Sketch) Compatible(o *Sketch) bool { return s.k == o.k && s.cfg == o.cfg }
+
+// Skim extracts the dense frequencies among the tracked candidates from
+// a clone of the base sketch, returning the skimmed clone and the dense
+// vector. A threshold ≤ 0 selects the sketch default.
+func (s *Sketch) Skim(threshold int64) (*core.HashSketch, stream.FreqVector, error) {
+	base := s.Base()
+	if threshold <= 0 {
+		threshold = base.DefaultSkimThreshold()
+	}
+	clone := base.Clone()
+	dense, err := clone.SkimValues(s.Candidates(), threshold)
+	if err != nil {
+		return nil, nil, err
+	}
+	return clone, dense, nil
+}
+
+// EstimateJoin runs the skimmed-sketch join estimator using the tracked
+// candidates as skim sets. Thresholds ≤ 0 select per-stream defaults.
+// Neither sketch is mutated.
+func EstimateJoin(f, g *Sketch, thresholdF, thresholdG int64) (core.Estimate, error) {
+	if !f.Compatible(g) {
+		return core.Estimate{}, fmt.Errorf("tracked: sketches are not a pair")
+	}
+	fs, fd, err := f.Skim(thresholdF)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	gs, gd, err := g.Skim(thresholdG)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	return core.EstimateJoinSkimmed(fs, gs, fd, gd)
+}

@@ -1,0 +1,150 @@
+package tracked
+
+import (
+	"testing"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+func cfg(d, b int, seed uint64) core.Config { return core.Config{Tables: d, Buckets: b, Seed: seed} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, cfg(3, 8, 1)); err == nil {
+		t.Fatal("expected k error")
+	}
+	if _, err := New(3, cfg(0, 8, 1)); err == nil {
+		t.Fatal("expected config error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(0, cfg(1, 1, 1))
+}
+
+func TestCompatible(t *testing.T) {
+	a := MustNew(4, cfg(3, 8, 1))
+	if !a.Compatible(MustNew(4, cfg(3, 8, 1))) {
+		t.Fatal("equal shapes must pair")
+	}
+	if a.Compatible(MustNew(5, cfg(3, 8, 1))) || a.Compatible(MustNew(4, cfg(3, 8, 2))) {
+		t.Fatal("different shapes must not pair")
+	}
+}
+
+func TestWords(t *testing.T) {
+	s := MustNew(10, cfg(3, 8, 1))
+	if s.Words() != 3*8+20 {
+		t.Fatalf("Words = %d", s.Words())
+	}
+}
+
+// TestSkimMatchesDomainScanWhenKCoversDense: with k at least the number
+// of dense values, the tracked skim must extract the same dense vector
+// as the reference domain scan.
+func TestSkimMatchesDomainScanWhenKCoversDense(t *testing.T) {
+	const domain = 1 << 12
+	c := cfg(7, 256, 41)
+	tr := MustNew(32, c)
+	plain := core.MustNewHashSketch(c)
+	zf, _ := workload.NewZipf(domain, 1.3, 7)
+	for _, u := range workload.MakeStream(zf, 40000) {
+		tr.Update(u.Value, u.Weight)
+		plain.Update(u.Value, u.Weight)
+	}
+	thr := plain.DefaultSkimThreshold()
+	skimmed, denseTracked, err := tr.Skim(thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseNaive, err := plain.SkimDense(domain, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(denseTracked) != len(denseNaive) {
+		t.Fatalf("dense sets differ: tracked %d vs naive %d", len(denseTracked), len(denseNaive))
+	}
+	for v, w := range denseNaive {
+		if denseTracked[v] != w {
+			t.Fatalf("dense sets differ at %d: %d vs %d", v, denseTracked[v], w)
+		}
+	}
+	for j := 0; j < 7; j++ {
+		for k := 0; k < 256; k++ {
+			if skimmed.Counter(j, k) != plain.Counter(j, k) {
+				t.Fatal("skimmed sketches diverge")
+			}
+		}
+	}
+}
+
+func TestSkimDoesNotMutate(t *testing.T) {
+	tr := MustNew(4, cfg(5, 64, 3))
+	tr.Update(7, 1000)
+	before := tr.Base().Clone()
+	if _, _, err := tr.Skim(0); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 5; j++ {
+		for k := 0; k < 64; k++ {
+			if tr.Base().Counter(j, k) != before.Counter(j, k) {
+				t.Fatal("Skim must not mutate the live sketch")
+			}
+		}
+	}
+}
+
+func TestEstimateJoinAccuracy(t *testing.T) {
+	const domain = 1 << 12
+	const n = 40000
+	c := cfg(7, 256, 99)
+	f := MustNew(32, c)
+	g := MustNew(32, c)
+	zf, _ := workload.NewZipf(domain, 1.3, 11)
+	zg, _ := workload.NewZipf(domain, 1.3, 12)
+	fv, gv := stream.NewFreqVector(), stream.NewFreqVector()
+	for _, u := range workload.MakeStream(zf, n) {
+		f.Update(u.Value, u.Weight)
+		fv.Update(u.Value, u.Weight)
+	}
+	for _, u := range workload.MakeStream(workload.NewShifted(zg, 10), n) {
+		g.Update(u.Value, u.Weight)
+		gv.Update(u.Value, u.Weight)
+	}
+	exact := float64(fv.InnerProduct(gv))
+	est, err := EstimateJoin(f, g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.SymmetricError(float64(est.Total), exact); e > 0.25 {
+		t.Fatalf("tracked join error %.4f (est %d vs exact %.0f)", e, est.Total, exact)
+	}
+}
+
+func TestEstimateJoinIncompatible(t *testing.T) {
+	if _, err := EstimateJoin(MustNew(4, cfg(3, 8, 1)), MustNew(4, cfg(3, 8, 2)), 0, 0); err == nil {
+		t.Fatal("expected pairing error")
+	}
+}
+
+func TestCandidatesTrackHeavyValues(t *testing.T) {
+	tr := MustNew(2, cfg(5, 64, 3))
+	tr.Update(9, 500)
+	tr.Update(100, 300)
+	u := workload.NewUniform(1024, 1)
+	for i := 0; i < 1000; i++ {
+		tr.Update(u.Next(), 1)
+	}
+	cands := tr.Candidates()
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	seen := map[uint64]bool{cands[0]: true, cands[1]: true}
+	if !seen[9] || !seen[100] {
+		t.Fatalf("heavy values missing from %v", cands)
+	}
+}

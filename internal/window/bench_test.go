@@ -1,0 +1,26 @@
+package window
+
+import (
+	"testing"
+
+	"skimsketch/internal/core"
+)
+
+func BenchmarkUpdate(b *testing.B) {
+	w := MustNew(100000, 4, core.Config{Tables: 7, Buckets: 1024, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Update(uint64(i&16383), 1)
+	}
+}
+
+func BenchmarkCombined(b *testing.B) {
+	w := MustNew(100000, 8, core.Config{Tables: 7, Buckets: 1024, Seed: 1})
+	for i := 0; i < 100000; i++ {
+		w.Update(uint64(i&16383), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Combined()
+	}
+}

@@ -1,0 +1,96 @@
+package window
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"skimsketch/internal/core"
+)
+
+// Binary serialization: "SKWN" magic, u32 version, u64 bucketCap, u32
+// numBuckets, u32 cur, u64 curCount, u32 live, u64 total, u32 tables,
+// u32 buckets, u64 seed, then numBuckets length-prefixed bucket-sketch
+// blobs. Restoring a window resumes rotation exactly where it left off.
+
+var windowMagic = [4]byte{'S', 'K', 'W', 'N'}
+
+const windowVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (w *Window) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, windowMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, windowVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.bucketCap))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w.buckets)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(w.cur))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.curCount))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(w.live))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.total))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(w.cfg.Tables))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(w.cfg.Buckets))
+	buf = binary.LittleEndian.AppendUint64(buf, w.cfg.Seed)
+	for _, sk := range w.buckets {
+		blob, err := sk.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver entirely.
+func (w *Window) UnmarshalBinary(data []byte) error {
+	const header = 60
+	if len(data) < header {
+		return fmt.Errorf("window: data truncated (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != windowMagic {
+		return fmt.Errorf("window: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != windowVersion {
+		return fmt.Errorf("window: unsupported version %d", v)
+	}
+	bucketCap := int64(binary.LittleEndian.Uint64(data[8:16]))
+	numBuckets := int(binary.LittleEndian.Uint32(data[16:20]))
+	cur := int(binary.LittleEndian.Uint32(data[20:24]))
+	curCount := int64(binary.LittleEndian.Uint64(data[24:32]))
+	live := int(binary.LittleEndian.Uint32(data[32:36]))
+	total := int64(binary.LittleEndian.Uint64(data[36:44]))
+	cfg := core.Config{
+		Tables:  int(binary.LittleEndian.Uint32(data[44:48])),
+		Buckets: int(binary.LittleEndian.Uint32(data[48:52])),
+		Seed:    binary.LittleEndian.Uint64(data[52:60]),
+	}
+	if numBuckets <= 0 || bucketCap <= 0 {
+		return fmt.Errorf("window: invalid shape %dx%d", numBuckets, bucketCap)
+	}
+	// Validate total length before allocating bucket sketches.
+	perBucket := 44 + 8*uint64(uint32(cfg.Tables))*uint64(uint32(cfg.Buckets))
+	if want := 60 + uint64(numBuckets)*perBucket; uint64(len(data)) != want {
+		return fmt.Errorf("window: data is %d bytes, want %d", len(data), want)
+	}
+	if cur < 0 || cur >= numBuckets || live < 0 || live >= numBuckets ||
+		curCount < 0 || curCount >= bucketCap {
+		return fmt.Errorf("window: inconsistent rotation state")
+	}
+	fresh, err := New(bucketCap*int64(numBuckets), numBuckets, cfg)
+	if err != nil {
+		return fmt.Errorf("window: unmarshal: %w", err)
+	}
+	fresh.cur, fresh.curCount, fresh.live, fresh.total = cur, curCount, live, total
+	off := 60
+	for i := range fresh.buckets {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if err := fresh.buckets[i].UnmarshalBinary(data[off : off+n]); err != nil {
+			return fmt.Errorf("window: bucket %d: %w", i, err)
+		}
+		off += n
+	}
+	*w = *fresh
+	return nil
+}

@@ -1,0 +1,164 @@
+package window
+
+import (
+	"testing"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+func cfg(d, b int, seed uint64) core.Config { return core.Config{Tables: d, Buckets: b, Seed: seed} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(100, 0, cfg(3, 8, 1)); err == nil {
+		t.Fatal("expected error for zero buckets")
+	}
+	if _, err := New(0, 4, cfg(3, 8, 1)); err == nil {
+		t.Fatal("expected error for zero window")
+	}
+	if _, err := New(10, 4, cfg(3, 8, 1)); err == nil {
+		t.Fatal("expected error for non-divisible window")
+	}
+	if _, err := New(100, 4, cfg(0, 8, 1)); err == nil {
+		t.Fatal("expected error for bad sketch config")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(0, 0, cfg(1, 1, 1))
+}
+
+func TestCoverageAccounting(t *testing.T) {
+	w := MustNew(100, 4, cfg(3, 16, 1)) // 25 elements per bucket
+	if w.WindowLen() != 100 || w.Words() != 4*3*16 {
+		t.Fatalf("WindowLen=%d Words=%d", w.WindowLen(), w.Words())
+	}
+	for i := 0; i < 10; i++ {
+		w.Update(uint64(i), 1)
+	}
+	if got := w.CoveredElements(); got != 10 {
+		t.Fatalf("CoveredElements = %d, want 10", got)
+	}
+	from, to := w.CoveredRange()
+	if from != 0 || to != 10 {
+		t.Fatalf("CoveredRange = [%d,%d)", from, to)
+	}
+	// Fill far beyond the window: coverage must stay within
+	// [W − W/B, W) = [75, 100).
+	for i := 0; i < 1000; i++ {
+		w.Update(uint64(i), 1)
+	}
+	cov := w.CoveredElements()
+	if cov < 75 || cov >= 100 {
+		t.Fatalf("coverage %d outside [75, 100)", cov)
+	}
+	if w.Total() != 1010 {
+		t.Fatalf("Total = %d", w.Total())
+	}
+	from, to = w.CoveredRange()
+	if to != 1010 || to-from != cov {
+		t.Fatalf("CoveredRange = [%d,%d) with coverage %d", from, to, cov)
+	}
+}
+
+// TestExpiryForgetsOldValues: a heavy value seen only before the window
+// must vanish from the combined sketch.
+func TestExpiryForgetsOldValues(t *testing.T) {
+	w := MustNew(400, 4, cfg(5, 64, 7))
+	for i := 0; i < 300; i++ {
+		w.Update(42, 1) // heavy, early
+	}
+	for i := 0; i < 1000; i++ {
+		w.Update(uint64(i%64)+100, 1) // light churn, pushes 42 out
+	}
+	if got := w.Combined().PointEstimate(42); got > 30 || got < -30 {
+		t.Fatalf("expired value still estimates %d", got)
+	}
+}
+
+// TestCombinedMatchesSuffix: the combined sketch must equal a fresh
+// sketch fed exactly the covered suffix of the stream.
+func TestCombinedMatchesSuffix(t *testing.T) {
+	c := cfg(5, 64, 9)
+	w := MustNew(200, 4, c)
+	g, _ := workload.NewZipf(256, 1.1, 3)
+	updates := workload.MakeStream(g, 1234)
+	for _, u := range updates {
+		w.Update(u.Value, u.Weight)
+	}
+	from, to := w.CoveredRange()
+	ref := core.MustNewHashSketch(c)
+	for _, u := range updates[from:to] {
+		ref.Update(u.Value, u.Weight)
+	}
+	comb := w.Combined()
+	for j := 0; j < 5; j++ {
+		for k := 0; k < 64; k++ {
+			if comb.Counter(j, k) != ref.Counter(j, k) {
+				t.Fatal("combined sketch must equal sketching the covered suffix")
+			}
+		}
+	}
+}
+
+func TestEstimateJoinIncompatible(t *testing.T) {
+	a := MustNew(100, 4, cfg(3, 8, 1))
+	b := MustNew(100, 4, cfg(3, 8, 2))
+	if _, err := EstimateJoin(a, b, 16); err == nil {
+		t.Fatal("expected pairing error")
+	}
+	c := MustNew(200, 4, cfg(3, 8, 1))
+	if _, err := EstimateJoin(a, c, 16); err == nil {
+		t.Fatal("expected pairing error for different window shapes")
+	}
+}
+
+// TestWindowedJoinAccuracy: the windowed estimate must track the exact
+// join of the covered suffixes.
+func TestWindowedJoinAccuracy(t *testing.T) {
+	const m = 1 << 10
+	c := cfg(7, 256, 21)
+	fw := MustNew(20000, 4, c)
+	gw := MustNew(20000, 4, c)
+	zf, _ := workload.NewZipf(m, 1.2, 5)
+	zg, _ := workload.NewZipf(m, 1.2, 6)
+	fu := workload.MakeStream(zf, 50000)
+	gu := workload.MakeStream(zg, 50000)
+	for _, u := range fu {
+		fw.Update(u.Value, u.Weight)
+	}
+	for _, u := range gu {
+		gw.Update(u.Value, u.Weight)
+	}
+	ff, ft := fw.CoveredRange()
+	gf, gt := gw.CoveredRange()
+	fv, gv := stream.NewFreqVector(), stream.NewFreqVector()
+	stream.Apply(fu[ff:ft], fv)
+	stream.Apply(gu[gf:gt], gv)
+	exact := float64(fv.InnerProduct(gv))
+
+	est, err := EstimateJoin(fw, gw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.SymmetricError(float64(est.Total), exact); e > 0.3 {
+		t.Fatalf("windowed join error %.4f (est %d vs exact %.0f)", e, est.Total, exact)
+	}
+}
+
+// TestDeletesInsideWindow: a delete inside the window cancels its insert.
+func TestDeletesInsideWindow(t *testing.T) {
+	w := MustNew(100, 4, cfg(5, 32, 3))
+	w.Update(7, 1)
+	w.Update(7, -1)
+	if got := w.Combined().PointEstimate(7); got != 0 {
+		t.Fatalf("estimate = %d, want 0", got)
+	}
+}

@@ -1,0 +1,28 @@
+package workload
+
+import "testing"
+
+func BenchmarkZipfNext(b *testing.B) {
+	g, err := NewZipf(1<<18, 1.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkZipfBuildCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewZipf(1<<16, 1.0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCensusPair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CensusPair(10000, 1)
+	}
+}

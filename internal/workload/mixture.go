@@ -1,0 +1,70 @@
+package workload
+
+import "math/rand"
+
+// Mixture draws from a small set of "hot" values with probability
+// HotProb and from a base generator otherwise — the traffic shape of the
+// paper's network-monitoring motivation (a few chatty sources over a
+// long uniform tail) and the cleanest way to plant known dense values
+// for tests and demos.
+type Mixture struct {
+	hot     []uint64
+	hotProb float64
+	base    Generator
+	rng     *rand.Rand
+}
+
+// NewMixture wraps base. hot values should lie in base's domain; hotProb
+// is clamped to [0, 1].
+func NewMixture(base Generator, hot []uint64, hotProb float64, seed int64) *Mixture {
+	if hotProb < 0 {
+		hotProb = 0
+	}
+	if hotProb > 1 {
+		hotProb = 1
+	}
+	h := make([]uint64, len(hot))
+	copy(h, hot)
+	return &Mixture{hot: h, hotProb: hotProb, base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws one value.
+func (g *Mixture) Next() uint64 {
+	if len(g.hot) > 0 && g.rng.Float64() < g.hotProb {
+		return g.hot[g.rng.Intn(len(g.hot))]
+	}
+	return g.base.Next()
+}
+
+// Domain returns the base generator's domain.
+func (g *Mixture) Domain() uint64 { return g.base.Domain() }
+
+// Drift switches between two generators after a fixed number of draws,
+// modelling workload migration — the regime sliding-window estimates are
+// for (see examples/windowed).
+type Drift struct {
+	before, after Generator
+	switchAt      int64
+	drawn         int64
+}
+
+// NewDrift draws from before for the first switchAt values and from
+// after subsequently. The two generators must share a domain.
+func NewDrift(before, after Generator, switchAt int64) *Drift {
+	if before.Domain() != after.Domain() {
+		panic("workload: Drift generators must share a domain")
+	}
+	return &Drift{before: before, after: after, switchAt: switchAt}
+}
+
+// Next draws one value.
+func (g *Drift) Next() uint64 {
+	g.drawn++
+	if g.drawn <= g.switchAt {
+		return g.before.Next()
+	}
+	return g.after.Next()
+}
+
+// Domain returns the shared domain.
+func (g *Drift) Domain() uint64 { return g.before.Domain() }

@@ -1,0 +1,97 @@
+package skimsketch
+
+import (
+	"testing"
+
+	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+func TestNewJoinPairValidation(t *testing.T) {
+	if _, err := NewJoinPair(0, Config{Tables: 3, Buckets: 8}); err == nil {
+		t.Fatal("expected error for zero domain")
+	}
+	if _, err := NewJoinPair(16, Config{}); err == nil {
+		t.Fatal("expected error for empty config")
+	}
+}
+
+func TestJoinPairEndToEnd(t *testing.T) {
+	const domain = 1 << 12
+	p, err := NewJoinPair(domain, Config{Tables: 7, Buckets: 512, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Domain() != domain {
+		t.Fatalf("Domain = %d", p.Domain())
+	}
+	if p.Words() != 2*7*512 {
+		t.Fatalf("Words = %d", p.Words())
+	}
+
+	zf, _ := workload.NewZipf(domain, 1.2, 11)
+	zg, _ := workload.NewZipf(domain, 1.2, 12)
+	fv, gv := stream.NewFreqVector(), stream.NewFreqVector()
+	for _, u := range workload.MakeStream(zf, 30000) {
+		p.UpdateF(u.Value, u.Weight)
+		fv.Update(u.Value, u.Weight)
+	}
+	for _, u := range workload.MakeStream(zg, 30000) {
+		p.UpdateG(u.Value, u.Weight)
+		gv.Update(u.Value, u.Weight)
+	}
+	exact := float64(fv.InnerProduct(gv))
+	est, err := p.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.SymmetricError(float64(est.Total), exact); e > 0.25 {
+		t.Fatalf("error %.4f too large (est %d vs exact %.0f)", e, est.Total, exact)
+	}
+}
+
+func TestFacadeFunctions(t *testing.T) {
+	cfg := Config{Tables: 5, Buckets: 64, Seed: 9}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Update(3, 10)
+	g.Update(3, 4)
+	est, err := EstimateJoin(f, g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total != 40 {
+		t.Fatalf("Total = %d, want 40", est.Total)
+	}
+	raw, err := EstimateJoinOptions(f, g, 16, Options{NoSkim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Total != 40 {
+		t.Fatalf("NoSkim Total = %d, want 40", raw.Total)
+	}
+}
+
+func TestFacadeHierarchy(t *testing.T) {
+	h, err := NewHierarchy(8, Config{Tables: 3, Buckets: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Update(100, 7)
+	if got := h.Base().PointEstimate(100); got != 7 {
+		t.Fatalf("estimate = %d, want 7", got)
+	}
+	// Sinks compose: a pair's sketches accept stream.Apply.
+	p, _ := NewJoinPair(256, Config{Tables: 3, Buckets: 32, Seed: 2})
+	stream.Apply([]Update{stream.Insert(1)}, p.F(), p.G())
+	if p.F().NetCount() != 1 || p.G().NetCount() != 1 {
+		t.Fatal("sketches must implement stream.Sink")
+	}
+}
