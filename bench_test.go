@@ -14,6 +14,7 @@ import (
 	"skimsketch/internal/agms"
 	"skimsketch/internal/core"
 	"skimsketch/internal/dyadic"
+	"skimsketch/internal/engine"
 	"skimsketch/internal/experiments"
 	"skimsketch/internal/stream"
 	"skimsketch/internal/tracked"
@@ -279,6 +280,87 @@ func BenchmarkSkimDenseTracked(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchIngestEngine builds an engine with streams F and G and one COUNT
+// join query for the ingestion-path benchmarks.
+func benchIngestEngine(b *testing.B) *engine.Engine {
+	b.Helper()
+	e, err := engine.New(engine.Options{SketchConfig: core.Config{Tables: 7, Buckets: 1024, Seed: 42}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []string{"F", "G"} {
+		if err := e.DeclareStream(s, 1<<14); err != nil {
+			b.Fatal(err)
+		}
+	}
+	err = e.RegisterQuery(engine.QuerySpec{
+		Name:  "q",
+		Agg:   engine.Count,
+		Left:  engine.Side{Stream: "F"},
+		Right: engine.Side{Stream: "G"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// benchIngestStream pre-draws an update stream for the engine benchmarks.
+func benchIngestStream(n int) []stream.Update {
+	z, err := workload.NewZipf(1<<14, 1.0, 9)
+	if err != nil {
+		panic(err)
+	}
+	return workload.MakeStream(z, n)
+}
+
+// BenchmarkEngineIngestSequential is the pre-pipeline baseline: one
+// engine.Update call per element, fully serialized.
+func BenchmarkEngineIngestSequential(b *testing.B) {
+	e := benchIngestEngine(b)
+	us := benchIngestStream(8192)
+	b.SetBytes(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := us[i&8191]
+		if err := e.Update("F", u.Value, u.Weight); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
+}
+
+// BenchmarkEngineIngestParallel drives the concurrent batched pipeline at
+// 4 workers with 256-element batches; compare updates/sec against
+// BenchmarkEngineIngestSequential for the pipeline speedup.
+func BenchmarkEngineIngestParallel(b *testing.B) {
+	const batchSize = 256
+	e := benchIngestEngine(b)
+	err := e.StartIngest(engine.IngestConfig{Workers: 4, BatchSize: batchSize, QueueDepth: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.StopIngest()
+	us := benchIngestStream(1 << 16)
+	b.SetBytes(16)
+	b.ResetTimer()
+	for off := 0; off < b.N; off += batchSize {
+		n := batchSize
+		if rem := b.N - off; rem < n {
+			n = rem
+		}
+		lo := off & (1<<16 - 1)
+		if lo+n > 1<<16 {
+			lo = 0
+		}
+		if err := e.IngestBatch("F", us[lo:lo+n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Flush()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
 }
 
 // BenchmarkPointEstimate measures a single COUNTSKETCH point query.

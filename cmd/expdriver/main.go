@@ -22,20 +22,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5a|fig5b|census|update|ablation|all")
+	exp := flag.String("exp", "all", "experiment: fig5a|fig5b|census|update|ablation|skew|threshold|ingest|all")
 	full := flag.Bool("full", false, "run at full paper scale (minutes instead of seconds)")
 	seeds := flag.Int("seeds", 0, "override the number of seeds per configuration")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	partitioned := flag.Bool("partitioned", false, "add the Dobra-style partitioned baseline to fig5 experiments (granted exact priors)")
+	workers := flag.Int("ingest.workers", 4, "shard workers for the ingest experiment's pipeline mode")
+	batch := flag.Int("ingest.batch", 256, "batch size for the ingest experiment's batched modes")
 	flag.Parse()
 
-	if err := run(*exp, *full, *seeds, *csvOut, *partitioned); err != nil {
+	if err := run(*exp, *full, *seeds, *csvOut, *partitioned, *workers, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "expdriver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, full bool, seeds int, csvOut, partitioned bool) error {
+func run(exp string, full bool, seeds int, csvOut, partitioned bool, workers, batch int) error {
 	switch exp {
 	case "fig5a":
 		return runFig5(pick5a(full), seeds, csvOut, partitioned)
@@ -51,9 +53,11 @@ func run(exp string, full bool, seeds int, csvOut, partitioned bool) error {
 		return runSkew(seeds, csvOut)
 	case "threshold":
 		return runThreshold(seeds, csvOut)
+	case "ingest":
+		return runIngest(full, csvOut, workers, batch)
 	case "all":
-		for _, e := range []string{"fig5a", "fig5b", "census", "update", "ablation", "skew", "threshold"} {
-			if err := run(e, full, seeds, csvOut, partitioned); err != nil {
+		for _, e := range []string{"fig5a", "fig5b", "census", "update", "ablation", "skew", "threshold", "ingest"} {
+			if err := run(e, full, seeds, csvOut, partitioned, workers, batch); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -62,6 +66,30 @@ func run(exp string, full bool, seeds int, csvOut, partitioned bool) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// runIngest compares sequential, batched and concurrent-pipeline engine
+// ingestion on one workload (see internal/experiments/ingest.go).
+func runIngest(full, csvOut bool, workers, batch int) error {
+	cfg := experiments.DefaultIngestThroughput()
+	if full {
+		cfg.StreamLen *= 10
+	}
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	if batch > 0 {
+		cfg.Batch = batch
+	}
+	res, err := experiments.RunIngestThroughput(cfg)
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		return res.WriteCSV(os.Stdout)
+	}
+	res.WriteTable(os.Stdout)
+	return nil
 }
 
 func pick5a(full bool) experiments.Fig5Config {

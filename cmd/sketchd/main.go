@@ -5,6 +5,13 @@
 //
 //	sketchd -addr :8080 -tables 7 -buckets 2048 -seed 42
 //
+// With -ingest.workers N (N > 0) updates are ingested through the
+// engine's concurrent batched pipeline: batches are decoded, grouped by
+// stream, and enqueued to N shard workers over bounded queues
+// (-ingest.batch and -ingest.queue size them); /answer, /stats and
+// /snapshot drain the pipeline first, so reads always observe every
+// previously accepted update.
+//
 // API (JSON bodies, JSON responses):
 //
 //	POST   /streams     {"name":"F","domain":262144}
@@ -16,6 +23,7 @@
 //	POST   /update      {"stream":"F","value":7,"weight":1}
 //	                    or a JSON array of such objects (batch)
 //	GET    /answer?query=q
+//	POST   /flush       (drain the ingest pipeline)
 //	GET    /stats
 //	GET    /snapshot    (checkpoint: engine state as JSON)
 //	POST   /restore     (load a snapshot into an empty engine)
@@ -37,6 +45,9 @@ func main() {
 		tables  = flag.Int("tables", 7, "default sketch tables d")
 		buckets = flag.Int("buckets", 2048, "default sketch buckets b")
 		seed    = flag.Uint64("seed", 42, "default sketch seed")
+		workers = flag.Int("ingest.workers", 0, "concurrent ingest shard workers (0 = synchronous ingestion)")
+		batch   = flag.Int("ingest.batch", 256, "max updates per queued ingest batch")
+		queue   = flag.Int("ingest.queue", 64, "per-worker ingest queue capacity in batches")
 	)
 	flag.Parse()
 
@@ -45,6 +56,17 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal("sketchd: ", err)
+	}
+	if *workers > 0 {
+		err := eng.StartIngest(engine.IngestConfig{
+			Workers:    *workers,
+			BatchSize:  *batch,
+			QueueDepth: *queue,
+		})
+		if err != nil {
+			log.Fatal("sketchd: ", err)
+		}
+		fmt.Printf("sketchd ingest pipeline: %d workers, batch %d, queue %d\n", *workers, *batch, *queue)
 	}
 	srv := newServer(eng)
 	fmt.Printf("sketchd listening on %s (default sketch %dx%d)\n", *addr, *tables, *buckets)

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"skimsketch/internal/engine"
+	"skimsketch/internal/stream"
 )
 
 // server wraps an engine with the HTTP API.
@@ -24,6 +25,7 @@ func newServer(eng *engine.Engine) *server {
 	s.mux.HandleFunc("/queries", s.handleQueries)
 	s.mux.HandleFunc("/queries/", s.handleQueryByName)
 	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/flush", s.handleFlush)
 	s.mux.HandleFunc("/answer", s.handleAnswer)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
@@ -203,17 +205,42 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = []updateReq{one}
 	}
-	for i, u := range batch {
+	// Group the batch by stream (preserving per-stream order) and hand
+	// each group to the engine's batched ingest path, which amortizes
+	// locking and hash evaluation and, with -ingest.workers, applies
+	// concurrently. Validation is synchronous: a bad update rejects its
+	// whole stream group before any of it is applied.
+	groups := make(map[string][]stream.Update)
+	order := make([]string, 0, 2)
+	for _, u := range batch {
 		weight := u.Weight
 		if weight == 0 {
 			weight = 1 // bare inserts may omit the weight
 		}
-		if err := s.eng.Update(u.Stream, u.Value, weight); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("update %d: %w", i, err))
+		if _, ok := groups[u.Stream]; !ok {
+			order = append(order, u.Stream)
+		}
+		groups[u.Stream] = append(groups[u.Stream], stream.Update{Value: u.Value, Weight: weight})
+	}
+	for _, name := range order {
+		if err := s.eng.IngestBatch(name, groups[name]); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"applied": len(batch)})
+}
+
+// handleFlush drains the ingest pipeline (a no-op when ingestion is
+// synchronous): once it returns, every previously accepted update is
+// folded into its synopses.
+func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	s.eng.Flush()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
@@ -289,5 +316,6 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"synopsisRefs": st.SynopsisRefs,
 		"totalWords":   st.TotalWords,
 		"updateCounts": st.UpdateCounts,
+		"ingest":       s.eng.IngestStats(),
 	})
 }

@@ -23,6 +23,7 @@ import (
 
 	"skimsketch/internal/hashfam"
 	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
 )
 
 // Sketch is an s1 × s2 array of AGMS atomic sketches.
@@ -69,6 +70,22 @@ func MustNew(s1, s2 int, seed uint64) *Sketch {
 func (s *Sketch) Update(value uint64, weight int64) {
 	for i := range s.counters {
 		s.counters[i] += weight * s.xis[i].Sign(value)
+	}
+}
+
+// UpdateBatch folds a whole batch of stream elements into every atomic
+// sketch. It is bit-for-bit equivalent to calling Update per element
+// (int64 addition is exact and commutative) but hoists each ξ family out
+// of the inner loop and writes each counter once per batch. It implements
+// stream.BatchSink.
+func (s *Sketch) UpdateBatch(batch []stream.Update) {
+	for i := range s.counters {
+		xi := &s.xis[i]
+		var acc int64
+		for _, u := range batch {
+			acc += u.Weight * xi.Sign(u.Value)
+		}
+		s.counters[i] += acc
 	}
 }
 

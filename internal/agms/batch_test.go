@@ -1,0 +1,59 @@
+package agms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"skimsketch/internal/stream"
+)
+
+// Property: UpdateBatch over any chunking equals the sequential Update
+// loop bit-for-bit — counters, self-join estimate, and the join estimate
+// against a sequentially-built pair sketch.
+func TestQuickUpdateBatchEquivalence(t *testing.T) {
+	f := func(vals []uint16, weights []int8, sizes []uint8) bool {
+		us := make([]stream.Update, len(vals))
+		for i, v := range vals {
+			w := int64(3)
+			if i < len(weights) && weights[i] != 0 {
+				w = int64(weights[i])
+			}
+			us[i] = stream.Update{Value: uint64(v % 256), Weight: w}
+		}
+		seq := MustNew(8, 5, 77)
+		bat := MustNew(8, 5, 77)
+		stream.Apply(us, seq)
+		i := 0
+		for off := 0; off < len(us); {
+			n := 1
+			if len(sizes) > 0 {
+				n = int(sizes[i%len(sizes)]%9) + 1
+				i++
+			}
+			end := off + n
+			if end > len(us) {
+				end = len(us)
+			}
+			bat.UpdateBatch(us[off:end])
+			off = end
+		}
+		for q := 0; q < 5; q++ {
+			for j := 0; j < 8; j++ {
+				if seq.AtomicSketch(q, j) != bat.AtomicSketch(q, j) {
+					return false
+				}
+			}
+		}
+		if seq.SelfJoinEstimate() != bat.SelfJoinEstimate() {
+			return false
+		}
+		other := MustNew(8, 5, 77)
+		stream.Apply(us, other)
+		js, err1 := JoinEstimate(seq, other)
+		jb, err2 := JoinEstimate(bat, other)
+		return err1 == nil && err2 == nil && js == jb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,21 @@ func BenchmarkUpdate(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdateBatch measures the amortized per-element cost of the
+// batched update path; compare ns per update against BenchmarkUpdate for
+// the batching win at identical bit-for-bit results.
+func BenchmarkUpdateBatch(b *testing.B) {
+	s := MustNewHashSketch(cfg(7, 1024, 1))
+	z, _ := workload.NewZipf(1<<14, 1.2, 1)
+	batch := workload.MakeStream(z, 256)
+	b.SetBytes(int64(len(batch)) * 16) // one Update{uint64,int64} per element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.UpdateBatch(batch)
+	}
+	b.ReportMetric(float64(b.N)*float64(len(batch))/b.Elapsed().Seconds(), "updates/sec")
+}
+
 func BenchmarkPointEstimate7Tables(b *testing.B) {
 	s := benchSketch(b, cfg(7, 1024, 1), 100000)
 	b.ResetTimer()

@@ -24,6 +24,7 @@ import (
 
 	"skimsketch/internal/hashfam"
 	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
 )
 
 // Config describes a hash sketch.
@@ -104,6 +105,35 @@ func (s *HashSketch) Update(value uint64, weight int64) {
 	} else {
 		s.gross += weight
 	}
+}
+
+// UpdateBatch folds a whole batch of stream elements into the sketch. It
+// is bit-for-bit equivalent to calling Update once per element (int64
+// addition is exact, commutative and associative, so applying the batch
+// table-by-table reorders only additions) but amortizes the per-update
+// overhead: the hash families and the table's counter row are hoisted out
+// of the inner loop, and the net/gross tallies are folded once per batch.
+// It implements stream.BatchSink.
+func (s *HashSketch) UpdateBatch(batch []stream.Update) {
+	b := s.cfg.Buckets
+	for j := 0; j < s.cfg.Tables; j++ {
+		h, x := s.hs[j], s.xs[j]
+		row := s.counters[j*b : (j+1)*b]
+		for _, u := range batch {
+			row[h.Bucket(u.Value, b)] += u.Weight * x.Sign(u.Value)
+		}
+	}
+	var net, gross int64
+	for _, u := range batch {
+		net += u.Weight
+		if u.Weight < 0 {
+			gross -= u.Weight
+		} else {
+			gross += u.Weight
+		}
+	}
+	s.net += net
+	s.gross += gross
 }
 
 // Config returns the sketch configuration.

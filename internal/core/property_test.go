@@ -109,6 +109,97 @@ func TestQuickSkimUnskimIdentity(t *testing.T) {
 	}
 }
 
+// chunkBy splits updates into consecutive chunks whose sizes are driven
+// by the fuzz bytes (size = b%7 + 1, so empty and tiny chunks both occur).
+func chunkBy(us []stream.Update, sizes []uint8) [][]stream.Update {
+	var chunks [][]stream.Update
+	i := 0
+	for off := 0; off < len(us); {
+		n := 1
+		if len(sizes) > 0 {
+			n = int(sizes[i%len(sizes)]%7) + 1
+			i++
+		}
+		end := off + n
+		if end > len(us) {
+			end = len(us)
+		}
+		chunks = append(chunks, us[off:end])
+		off = end
+	}
+	return chunks
+}
+
+// Property: UpdateBatch over any chunking of the stream is bit-for-bit
+// identical to the sequential Update loop — same counters, same counts,
+// and exactly the same skimmed-sketch estimate (components included).
+func TestQuickBatchSequentialEquivalence(t *testing.T) {
+	c := cfg(5, 32, 17)
+	f := func(v1 []uint16, w1 []int8, v2 []uint16, w2 []int8, splits []uint8) bool {
+		u1, u2 := miniStream(v1, w1), miniStream(v2, w2)
+		fSeq, gSeq := MustNewHashSketch(c), MustNewHashSketch(c)
+		stream.Apply(u1, fSeq)
+		stream.Apply(u2, gSeq)
+		fBat, gBat := MustNewHashSketch(c), MustNewHashSketch(c)
+		for _, chunk := range chunkBy(u1, splits) {
+			fBat.UpdateBatch(chunk)
+		}
+		for _, chunk := range chunkBy(u2, splits) {
+			gBat.UpdateBatch(chunk)
+		}
+		for _, pair := range [][2]*HashSketch{{fSeq, fBat}, {gSeq, gBat}} {
+			seq, bat := pair[0], pair[1]
+			if seq.NetCount() != bat.NetCount() || seq.GrossCount() != bat.GrossCount() {
+				return false
+			}
+			for j := 0; j < 5; j++ {
+				for k := 0; k < 32; k++ {
+					if seq.Counter(j, k) != bat.Counter(j, k) {
+						return false
+					}
+				}
+			}
+		}
+		// Exact equality of the full decomposed estimate, skim included.
+		estSeq, err1 := EstimateJoin(fSeq, gSeq, 512, nil)
+		estBat, err2 := EstimateJoin(fBat, gBat, 512, nil)
+		if err1 != nil || err2 != nil || estSeq != estBat {
+			return false
+		}
+		// And of the no-skim (raw bucket inner product) estimate.
+		rawSeq, err1 := EstimateJoin(fSeq, gSeq, 512, &Options{NoSkim: true})
+		rawBat, err2 := EstimateJoin(fBat, gBat, 512, &Options{NoSkim: true})
+		return err1 == nil && err2 == nil && rawSeq == rawBat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ApplyBatched is equivalent to Apply for any batch size,
+// including batch sizes larger than the stream.
+func TestQuickApplyBatchedEquivalence(t *testing.T) {
+	c := cfg(3, 16, 23)
+	f := func(vals []uint16, weights []int8, bsRaw uint8) bool {
+		us := miniStream(vals, weights)
+		bs := int(bsRaw % 40) // 0 means one chunk
+		seq, bat := MustNewHashSketch(c), MustNewHashSketch(c)
+		stream.Apply(us, seq)
+		stream.ApplyBatched(us, bs, bat)
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 16; k++ {
+				if seq.Counter(j, k) != bat.Counter(j, k) {
+					return false
+				}
+			}
+		}
+		return seq.NetCount() == bat.NetCount() && seq.GrossCount() == bat.GrossCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: the estimate's Total always equals the sum of its reported
 // components, and the no-skim estimate is pure sparse×sparse.
 func TestQuickDecompositionConsistency(t *testing.T) {

@@ -1,0 +1,58 @@
+package countmin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"skimsketch/internal/stream"
+)
+
+// Property: UpdateBatch over any chunking equals the sequential Update
+// loop bit-for-bit — counters, net count, the delete-detection flag
+// (PointQuery switches estimators on it), and point/inner-product
+// estimates.
+func TestQuickUpdateBatchEquivalence(t *testing.T) {
+	f := func(vals []uint16, weights []int8, sizes []uint8) bool {
+		us := make([]stream.Update, len(vals))
+		for i, v := range vals {
+			w := int64(1)
+			if i < len(weights) && weights[i] != 0 {
+				w = int64(weights[i])
+			}
+			us[i] = stream.Update{Value: uint64(v % 256), Weight: w}
+		}
+		seq := MustNew(5, 64, 31)
+		bat := MustNew(5, 64, 31)
+		stream.Apply(us, seq)
+		i := 0
+		for off := 0; off < len(us); {
+			n := 1
+			if len(sizes) > 0 {
+				n = int(sizes[i%len(sizes)]%9) + 1
+				i++
+			}
+			end := off + n
+			if end > len(us) {
+				end = len(us)
+			}
+			bat.UpdateBatch(us[off:end])
+			off = end
+		}
+		if seq.NetCount() != bat.NetCount() || seq.sawNeg != bat.sawNeg {
+			return false
+		}
+		for v := uint64(0); v < 256; v++ {
+			if seq.PointQuery(v) != bat.PointQuery(v) {
+				return false
+			}
+		}
+		other := MustNew(5, 64, 31)
+		stream.Apply(us, other)
+		ps, err1 := InnerProduct(seq, other)
+		pb, err2 := InnerProduct(bat, other)
+		return err1 == nil && err2 == nil && ps == pb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"skimsketch/internal/hashfam"
 	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
 )
 
 // Sketch is a Count-Min sketch with d tables of b counters.
@@ -57,6 +58,27 @@ func (s *Sketch) Update(value uint64, weight int64) {
 	s.net += weight
 	if weight < 0 {
 		s.sawNeg = true
+	}
+}
+
+// UpdateBatch folds a whole batch of stream elements, one counter per
+// table per element. It is bit-for-bit equivalent to calling Update per
+// element but hoists the bucket hash and counter row out of the inner
+// loop and folds the net/sawNeg tallies once per batch. It implements
+// stream.BatchSink.
+func (s *Sketch) UpdateBatch(batch []stream.Update) {
+	for j := 0; j < s.d; j++ {
+		h := s.hs[j]
+		row := s.counters[j*s.b : (j+1)*s.b]
+		for _, u := range batch {
+			row[h.Bucket(u.Value, s.b)] += u.Weight
+		}
+	}
+	for _, u := range batch {
+		s.net += u.Weight
+		if u.Weight < 0 {
+			s.sawNeg = true
+		}
 	}
 }
 

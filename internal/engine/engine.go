@@ -24,6 +24,8 @@ import (
 	"sync"
 
 	"skimsketch/internal/core"
+	"skimsketch/internal/monitor"
+	"skimsketch/internal/stream"
 	"skimsketch/internal/window"
 )
 
@@ -94,14 +96,32 @@ type Options struct {
 }
 
 // Engine is the stream query processor. All methods are safe for
-// concurrent use; updates are serialized internally.
+// concurrent use; updates are serialized internally unless the batched
+// ingestion pipeline is running (StartIngest), in which case batches are
+// applied concurrently by shard workers and reads quiesce the pipeline
+// first.
 type Engine struct {
-	mu         sync.Mutex
+	mu sync.Mutex
+	// applyMu arbitrates synopsis counter access: shard workers hold the
+	// read side while applying (their synopsis sets are disjoint, so
+	// sharing it is safe), and every reader or inline applier holds the
+	// write side — an inverted RWMutex.
+	applyMu    sync.RWMutex
 	defaults   core.Config
 	streams    map[string]*streamInfo
 	predicates map[string]Predicate
 	synopses   map[synKey]*synEntry
 	queries    map[string]*queryState
+
+	// Batched-ingestion state (see ingest.go). nextSynID hands each
+	// synopsis its shard-hash identity; routes caches per-stream shard
+	// fan-out lists and is dropped whenever the synopsis set or the shard
+	// count changes.
+	ing          *ingester
+	nextSynID    int
+	routes       map[string][][]*synEntry
+	routesShards int
+	metrics      *monitor.IngestMetrics
 }
 
 type streamInfo struct {
@@ -120,6 +140,7 @@ type synKey struct {
 
 type synEntry struct {
 	key  synKey
+	id   int // creation-order identity; shard = id mod workers
 	refs int
 	pred Predicate // nil means accept all
 	// Exactly one of sketch/win is set.
@@ -136,6 +157,23 @@ func (e *synEntry) update(v uint64, w int64) {
 		return
 	}
 	e.sketch.Update(v, w)
+}
+
+// updateBatch folds a whole batch, delegating to the synopsis' batched
+// update when no predicate intervenes. Exactly equivalent to calling
+// update once per element in order.
+func (e *synEntry) updateBatch(batch []stream.Update) {
+	if e.pred == nil {
+		if e.win != nil {
+			e.win.UpdateBatch(batch)
+		} else {
+			e.sketch.UpdateBatch(batch)
+		}
+		return
+	}
+	for _, u := range batch {
+		e.update(u.Value, u.Weight)
+	}
 }
 
 // materialize returns a sketch snapshot suitable for estimation.
@@ -170,6 +208,7 @@ func New(opts Options) (*Engine, error) {
 		predicates: make(map[string]Predicate),
 		synopses:   make(map[synKey]*synEntry),
 		queries:    make(map[string]*queryState),
+		metrics:    monitor.NewIngestMetrics(),
 	}, nil
 }
 
@@ -287,7 +326,9 @@ func (e *Engine) acquireSynopsis(s Side, cfg core.Config) (*synEntry, error) {
 		entry.refs++
 		return entry, nil
 	}
-	entry := &synEntry{key: key, refs: 1, pred: pred}
+	entry := &synEntry{key: key, id: e.nextSynID, refs: 1, pred: pred}
+	e.nextSynID++
+	e.routes = nil // the synopsis set is changing
 	if s.WindowLen > 0 {
 		w, err := window.New(s.WindowLen, s.WindowBuckets, cfg)
 		if err != nil {
@@ -312,6 +353,7 @@ func (e *Engine) release(entry *synEntry) {
 	entry.refs--
 	if entry.refs <= 0 {
 		delete(e.synopses, entry.key)
+		e.routes = nil
 	}
 }
 
@@ -344,18 +386,25 @@ func (e *Engine) Update(streamName string, value uint64, weight int64) error {
 		return fmt.Errorf("engine: stream %q: value %d outside domain [0,%d)", streamName, value, info.domain)
 	}
 	info.count++
+	e.metrics.UpdatesEnqueued.Add(1)
+	// Take the exclusive apply lock so a single update is serialized with
+	// both the shard workers and the readers.
+	e.applyMu.Lock()
 	for _, entry := range e.synopses {
 		if entry.key.stream == streamName {
 			entry.update(value, weight)
 		}
 	}
+	e.applyMu.Unlock()
+	e.metrics.UpdatesApplied.Add(1)
 	return nil
 }
 
-// Answer serves the current approximate answer of a registered query.
+// Answer serves the current approximate answer of a registered query. If
+// the ingestion pipeline is running it is drained first, so the answer
+// reflects every batch enqueued before the call.
 func (e *Engine) Answer(name string) (Answer, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	defer e.readQuiesce()()
 	q, ok := e.queries[name]
 	if !ok {
 		return Answer{}, fmt.Errorf("engine: unknown query %q", name)
@@ -377,10 +426,10 @@ type Stats struct {
 	UpdateCounts map[string]int64
 }
 
-// Stats reports synopsis sharing and memory usage.
+// Stats reports synopsis sharing and memory usage. Like Answer, it
+// drains the ingestion pipeline first.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	defer e.readQuiesce()()
 	st := Stats{
 		Streams:      len(e.streams),
 		Queries:      len(e.queries),

@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"skimsketch/internal/monitor"
+	"skimsketch/internal/stream"
+)
+
+// The batched ingestion pipeline: N shard workers, each owning a disjoint
+// subset of the engine's synopses (hash on the synopsis id), fed by
+// bounded channels. A batch for stream S is fanned out to every shard
+// holding a synopsis over S; the send blocks when a worker queue is full,
+// which is the pipeline's backpressure. Because each synopsis belongs to
+// exactly one shard, workers never write the same counters and can apply
+// concurrently under a shared (read) apply lock; readers take the
+// exclusive side, so a query never observes a half-applied batch.
+//
+// Consistency contract: the fan-out of one batch happens atomically under
+// ing.fanMu (read side). Readers quiesce by taking ing.fanMu exclusively,
+// draining every worker queue with a barrier, and only then reading under
+// the exclusive apply lock — so every batch is observed either fully
+// applied to all of its stream's synopses or not at all, never torn
+// across synopses or tables.
+
+// IngestConfig tunes the concurrent ingestion pipeline.
+type IngestConfig struct {
+	// Workers is the number of shard workers. <= 0 defaults to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// BatchSize is the maximum number of updates per queued batch; larger
+	// IngestBatch calls are split on BatchSize boundaries. <= 0 defaults
+	// to 256.
+	BatchSize int
+	// QueueDepth is each worker's queue capacity in batches; a full queue
+	// blocks producers (backpressure). <= 0 defaults to 64.
+	QueueDepth int
+}
+
+func (c *IngestConfig) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+}
+
+// ingestItem is one unit of worker work: apply batch to entries (all
+// owned by the receiving worker's shard). A barrier item instead signals
+// the WaitGroup, implementing Flush.
+type ingestItem struct {
+	entries []*synEntry
+	batch   []stream.Update
+	// count is the number of elements this item accounts for in the
+	// applied-updates metric; only one shard of a fan-out carries it, so
+	// elements are counted once however many synopses they reach.
+	count   int
+	barrier *sync.WaitGroup
+}
+
+type ingester struct {
+	cfg   IngestConfig
+	chans []chan ingestItem
+	wg    sync.WaitGroup
+
+	// fanMu makes the fan-out of one batch atomic with respect to
+	// barriers: producers hold the read side across all shard sends;
+	// Flush/quiesce/Stop hold the write side. closed is guarded by fanMu.
+	fanMu  sync.RWMutex
+	closed bool
+}
+
+// StartIngest launches the concurrent ingestion pipeline. Subsequent
+// IngestBatch calls enqueue to the shard workers instead of applying
+// synchronously. It fails if a pipeline is already running.
+func (e *Engine) StartIngest(cfg IngestConfig) error {
+	cfg.applyDefaults()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ing != nil {
+		return fmt.Errorf("engine: ingest pipeline already running")
+	}
+	ing := &ingester{cfg: cfg, chans: make([]chan ingestItem, cfg.Workers)}
+	for i := range ing.chans {
+		ing.chans[i] = make(chan ingestItem, cfg.QueueDepth)
+	}
+	ing.wg.Add(cfg.Workers)
+	for i := range ing.chans {
+		go ing.worker(e, ing.chans[i])
+	}
+	e.ing = ing
+	e.routes = nil // the shard count changed; rebuild routes lazily
+	return nil
+}
+
+// StopIngest drains and shuts down the pipeline. Queued batches are fully
+// applied before it returns; afterwards IngestBatch applies synchronously
+// again. It is a no-op if no pipeline is running.
+func (e *Engine) StopIngest() {
+	e.mu.Lock()
+	ing := e.ing
+	e.ing = nil
+	e.routes = nil
+	e.mu.Unlock()
+	if ing == nil {
+		return
+	}
+	ing.fanMu.Lock()
+	ing.closed = true
+	for _, ch := range ing.chans {
+		close(ch)
+	}
+	ing.fanMu.Unlock()
+	ing.wg.Wait() // workers drain their queues before exiting
+}
+
+// worker applies queued batches to its shard's synopses. The shared
+// (read) apply lock lets all workers run concurrently — their synopsis
+// sets are disjoint — while excluding readers, which take the write side.
+func (ing *ingester) worker(e *Engine, ch chan ingestItem) {
+	defer ing.wg.Done()
+	for item := range ch {
+		if item.barrier != nil {
+			item.barrier.Done()
+			continue
+		}
+		e.applyMu.RLock()
+		for _, en := range item.entries {
+			en.updateBatch(item.batch)
+		}
+		e.applyMu.RUnlock()
+		e.metrics.QueueDepth.Add(-1)
+		if item.count > 0 {
+			e.metrics.UpdatesApplied.Add(int64(item.count))
+		}
+		e.metrics.Batches.Add(1)
+	}
+}
+
+// barrierLocked drains every worker queue: the barrier items are FIFO
+// behind all previously enqueued batches. Callers hold ing.fanMu
+// exclusively, so no batch can be half-fanned-out across the barrier.
+func (ing *ingester) barrierLocked() {
+	var wg sync.WaitGroup
+	wg.Add(len(ing.chans))
+	for _, ch := range ing.chans {
+		ch <- ingestItem{barrier: &wg}
+	}
+	wg.Wait()
+}
+
+// enqueue fans the batch out to the shards named by route, splitting it
+// into BatchSize chunks. If the pipeline was stopped between routing and
+// enqueueing, it falls back to a synchronous apply.
+func (ing *ingester) enqueue(e *Engine, route [][]*synEntry, updates []stream.Update) {
+	ing.fanMu.RLock()
+	defer ing.fanMu.RUnlock()
+	if ing.closed {
+		e.applyMu.Lock()
+		for _, entries := range route {
+			for _, en := range entries {
+				en.updateBatch(updates)
+			}
+		}
+		e.applyMu.Unlock()
+		e.metrics.UpdatesApplied.Add(int64(len(updates)))
+		e.metrics.Batches.Add(1)
+		return
+	}
+	bs := ing.cfg.BatchSize
+	for off := 0; off < len(updates); off += bs {
+		end := off + bs
+		if end > len(updates) {
+			end = len(updates)
+		}
+		chunk := updates[off:end]
+		counted := false
+		for shard, entries := range route {
+			if len(entries) == 0 {
+				continue
+			}
+			item := ingestItem{entries: entries, batch: chunk}
+			if !counted {
+				item.count = len(chunk)
+				counted = true
+			}
+			e.metrics.QueueDepth.Add(1)
+			ing.chans[shard] <- item
+		}
+	}
+}
+
+// IngestBatch validates and ingests a batch of updates for one stream.
+// With a running pipeline (StartIngest) the batch is enqueued to the
+// shard workers and applied asynchronously — a following Flush, Answer,
+// Snapshot or Stats call observes it; a full queue blocks (backpressure).
+// Without a pipeline it applies synchronously before returning. In both
+// modes the result is bit-for-bit identical to calling Update once per
+// element in order. Validation is synchronous: on error the whole batch
+// is rejected and nothing is applied.
+func (e *Engine) IngestBatch(streamName string, updates []stream.Update) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	info, ok := e.streams[streamName]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: unknown stream %q", streamName)
+	}
+	if err := stream.Validate(updates, info.domain); err != nil {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: stream %q: %w", streamName, err)
+	}
+	ing := e.ing
+	shards := 1
+	if ing != nil {
+		shards = len(ing.chans)
+	}
+	route := e.routeLocked(streamName, shards)
+	info.count += int64(len(updates))
+	e.metrics.UpdatesEnqueued.Add(int64(len(updates)))
+	if ing == nil {
+		// Synchronous path: apply inline under the exclusive apply lock,
+		// with e.mu held like Update.
+		e.applyMu.Lock()
+		for _, en := range route[0] {
+			en.updateBatch(updates)
+		}
+		e.applyMu.Unlock()
+		e.metrics.UpdatesApplied.Add(int64(len(updates)))
+		e.metrics.Batches.Add(1)
+		e.mu.Unlock()
+		return nil
+	}
+	e.mu.Unlock()
+	ing.enqueue(e, route, updates)
+	return nil
+}
+
+// Flush blocks until every batch enqueued before the call is fully
+// applied. It is a no-op without a running pipeline.
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	ing := e.ing
+	e.mu.Unlock()
+	if ing == nil {
+		return
+	}
+	ing.fanMu.Lock()
+	if !ing.closed {
+		ing.barrierLocked()
+		e.metrics.Flushes.Add(1)
+	}
+	ing.fanMu.Unlock()
+}
+
+// routeLocked returns the per-shard synopsis lists for a stream,
+// computing and caching them on first use. The cache is invalidated
+// whenever the synopsis set or the shard count changes. Callers hold
+// e.mu.
+func (e *Engine) routeLocked(streamName string, shards int) [][]*synEntry {
+	if e.routes == nil || e.routesShards != shards {
+		e.routes = make(map[string][][]*synEntry)
+		e.routesShards = shards
+	}
+	if r, ok := e.routes[streamName]; ok {
+		return r
+	}
+	r := make([][]*synEntry, shards)
+	for _, en := range e.synopses {
+		if en.key.stream == streamName {
+			s := en.id % shards
+			r[s] = append(r[s], en)
+		}
+	}
+	e.routes[streamName] = r
+	return r
+}
+
+// IngestStats returns the ingestion pipeline counters (updates enqueued
+// and applied, batches, mean batch fill, queue depth, flushes, and the
+// lifetime updates/sec rate).
+func (e *Engine) IngestStats() monitor.IngestSnapshot {
+	return e.metrics.Snapshot()
+}
+
+// readQuiesce drains the pipeline (if running) and acquires the locks a
+// consistent read needs: ing.fanMu exclusively (no batch mid-fan-out),
+// e.mu (map state), and the exclusive side of applyMu (no worker
+// mid-apply). The returned function releases everything.
+func (e *Engine) readQuiesce() func() {
+	e.mu.Lock()
+	ing := e.ing
+	e.mu.Unlock()
+	if ing != nil {
+		ing.fanMu.Lock()
+		if !ing.closed {
+			ing.barrierLocked()
+			e.metrics.Flushes.Add(1)
+		}
+	}
+	e.mu.Lock()
+	e.applyMu.Lock()
+	return func() {
+		e.applyMu.Unlock()
+		e.mu.Unlock()
+		if ing != nil {
+			ing.fanMu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/stream"
+	"skimsketch/internal/workload"
+)
+
+// ingestTestEngine builds an engine with streams F and G, a plain COUNT
+// query, a predicated query and a windowed query, so batches exercise
+// every synopsis flavour (sketch, predicate-filtered sketch, window).
+func ingestTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeclareStream("G", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterPredicate("small", func(v uint64, _ int64) bool { return v < 512 }); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []QuerySpec{
+		{Name: "q", Agg: Count, Left: Side{Stream: "F"}, Right: Side{Stream: "G"}},
+		{Name: "qp", Agg: Count, Left: Side{Stream: "F", Predicate: "small"}, Right: Side{Stream: "G"}},
+		{Name: "qw", Agg: Count, Left: Side{Stream: "F", WindowLen: 4000, WindowBuckets: 4}, Right: Side{Stream: "G"}},
+	} {
+		if err := e.RegisterQuery(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// ingestWorkload draws a deterministic pair of update streams.
+func ingestWorkload(t *testing.T, n int) (fs, gs []stream.Update) {
+	t.Helper()
+	zf, err := workload.NewZipf(1024, 1.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zg, err := workload.NewZipf(1024, 1.1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.MakeStream(zf, n), workload.MakeStream(zg, n)
+}
+
+// answers collects every query's estimate.
+func answers(t *testing.T, e *Engine) map[string]int64 {
+	t.Helper()
+	out := make(map[string]int64)
+	for _, q := range e.Queries() {
+		a, err := e.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[q] = a.Estimate
+	}
+	return out
+}
+
+// TestIngestBatchSequentialEquivalence pins the exactness guarantee at
+// the engine level: per-element Update, synchronous IngestBatch, and the
+// concurrent pipeline must all produce identical answers for every query
+// flavour.
+func TestIngestBatchSequentialEquivalence(t *testing.T) {
+	const n = 6000
+	fs, gs := ingestWorkload(t, n)
+
+	seq := ingestTestEngine(t)
+	for _, u := range fs {
+		if err := seq.Update("F", u.Value, u.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, u := range gs {
+		if err := seq.Update("G", u.Value, u.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := answers(t, seq)
+
+	feedBatched := func(e *Engine, chunk int) {
+		for off := 0; off < n; off += chunk {
+			end := off + chunk
+			if end > n {
+				end = n
+			}
+			if err := e.IngestBatch("F", fs[off:end]); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.IngestBatch("G", gs[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	sync := ingestTestEngine(t)
+	feedBatched(sync, 97) // deliberately not a divisor of n
+	if got := answers(t, sync); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("synchronous IngestBatch answers %v != sequential %v", got, want)
+	}
+
+	pipe := ingestTestEngine(t)
+	if err := pipe.StartIngest(IngestConfig{Workers: 4, BatchSize: 64, QueueDepth: 8}); err != nil {
+		t.Fatal(err)
+	}
+	feedBatched(pipe, 97)
+	pipe.Flush()
+	got := answers(t, pipe)
+	pipe.StopIngest()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("pipeline answers %v != sequential %v", got, want)
+	}
+
+	st := pipe.IngestStats()
+	if st.UpdatesEnqueued != 2*n || st.UpdatesApplied != 2*n {
+		t.Fatalf("ingest counters enqueued=%d applied=%d, want both %d", st.UpdatesEnqueued, st.UpdatesApplied, 2*n)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain, want 0", st.QueueDepth)
+	}
+	if st.Batches == 0 || st.AvgBatchFill <= 0 {
+		t.Fatalf("batch counters not populated: %+v", st)
+	}
+}
+
+// TestConcurrentIngestQueryStats hammers the pipeline with concurrent
+// producers, queriers, statters and snapshotters under -race, then
+// reconciles exactly: every update inserts value 0, so the join estimate
+// is exactly nF·nG (a single-value stream is estimated exactly) and any
+// lost update would change the product.
+func TestConcurrentIngestQueryStats(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeclareStream("G", 16); err != nil {
+		t.Fatal(err)
+	}
+	err := e.RegisterQuery(QuerySpec{Name: "q", Agg: Count, Left: Side{Stream: "F"}, Right: Side{Stream: "G"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartIngest(IngestConfig{Workers: 4, BatchSize: 16, QueueDepth: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		producers  = 4
+		batches    = 40
+		batchElems = 23
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		name := "F"
+		if p%2 == 1 {
+			name = "G"
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			batch := make([]stream.Update, batchElems)
+			for i := range batch {
+				batch[i] = stream.Insert(0)
+			}
+			for b := 0; b < batches; b++ {
+				if err := e.IngestBatch(name, batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(name)
+	}
+	// Concurrent readers: answers, stats and snapshots must all be safe
+	// (and torn-free) while the producers run.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r {
+				case 0:
+					if _, err := e.Answer("q"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					e.Stats()
+				case 2:
+					var buf bytes.Buffer
+					if err := e.Snapshot(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	e.Flush()
+	defer e.StopIngest()
+
+	perStream := int64(producers / 2 * batches * batchElems)
+	st := e.Stats()
+	if st.UpdateCounts["F"] != perStream || st.UpdateCounts["G"] != perStream {
+		t.Fatalf("update counts F=%d G=%d, want %d each", st.UpdateCounts["F"], st.UpdateCounts["G"], perStream)
+	}
+	a, err := e.Answer("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := perStream * perStream; a.Estimate != want {
+		t.Fatalf("final estimate %d, want exactly %d (lost or duplicated updates)", a.Estimate, want)
+	}
+	ist := e.IngestStats()
+	if ist.UpdatesApplied != 2*perStream {
+		t.Fatalf("applied %d updates, want %d", ist.UpdatesApplied, 2*perStream)
+	}
+}
+
+// TestSnapshotNeverTorn is the regression test for the snapshot
+// consistency contract: two synopses over the same stream must always
+// agree on how many batches they have absorbed, even while snapshots race
+// with concurrent sharded ingestion. The "all" predicate forces a second,
+// distinct synopsis over F, so with >1 worker the two synopses live on
+// different shards and every batch is fanned out across workers.
+func TestSnapshotNeverTorn(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterPredicate("all", func(uint64, int64) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []QuerySpec{
+		{Name: "q1", Agg: Count, Left: Side{Stream: "F"}, Right: Side{Stream: "F"}},
+		{Name: "q2", Agg: Count, Left: Side{Stream: "F", Predicate: "all"}, Right: Side{Stream: "F", Predicate: "all"}},
+	} {
+		if err := e.RegisterQuery(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.StartIngest(IngestConfig{Workers: 4, BatchSize: 8, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer e.StopIngest()
+
+	done := make(chan struct{})
+	var producers sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		producers.Add(1)
+		go func(p int) {
+			defer producers.Done()
+			for b := 0; b < 60; b++ {
+				// Variable batch sizes so a torn application would show
+				// up as a NetCount mismatch, not just a constant offset.
+				batch := make([]stream.Update, b%13+1)
+				for i := range batch {
+					batch[i] = stream.Insert(uint64((b + i) % 16))
+				}
+				if err := e.IngestBatch("F", batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() { producers.Wait(); close(done) }()
+
+	checked := 0
+	for {
+		select {
+		case <-done:
+			if checked == 0 {
+				t.Fatal("no snapshots taken while ingesting")
+			}
+			return
+		default:
+		}
+		var buf bytes.Buffer
+		if err := e.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var snap snapshot
+		if err := json.NewDecoder(&buf).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Synopses) != 2 {
+			t.Fatalf("expected 2 synopses in snapshot, got %d", len(snap.Synopses))
+		}
+		nets := make([]int64, 0, 2)
+		for _, s := range snap.Synopses {
+			var sk core.HashSketch
+			if err := sk.UnmarshalBinary(s.Blob); err != nil {
+				t.Fatal(err)
+			}
+			nets = append(nets, sk.NetCount())
+		}
+		if nets[0] != nets[1] {
+			t.Fatalf("torn snapshot: synopsis net counts %d != %d", nets[0], nets[1])
+		}
+		checked++
+	}
+}
+
+// TestIngestValidation checks the synchronous-rejection contract: a batch
+// with any out-of-domain value (or an unknown stream) is rejected whole.
+func TestIngestValidation(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestBatch("nope", []stream.Update{stream.Insert(1)}); err == nil {
+		t.Fatal("expected unknown-stream error")
+	}
+	bad := []stream.Update{stream.Insert(1), stream.Insert(99)}
+	if err := e.IngestBatch("F", bad); err == nil {
+		t.Fatal("expected out-of-domain error")
+	}
+	if got := e.Stats().UpdateCounts["F"]; got != 0 {
+		t.Fatalf("rejected batch still counted: %d updates", got)
+	}
+	// Empty batches are a no-op even for unknown streams' error path.
+	if err := e.IngestBatch("F", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartStopIngest checks the pipeline lifecycle: double-start fails,
+// stop drains, stop twice is a no-op, and ingestion keeps working
+// synchronously after a stop.
+func TestStartStopIngest(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 8); err != nil {
+		t.Fatal(err)
+	}
+	err := e.RegisterQuery(QuerySpec{Name: "q", Agg: Count, Left: Side{Stream: "F"}, Right: Side{Stream: "F"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Flush() // no-op without a pipeline
+	if err := e.StartIngest(IngestConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartIngest(IngestConfig{}); err == nil {
+		t.Fatal("expected double-start error")
+	}
+	if err := e.IngestBatch("F", []stream.Update{stream.Insert(3), stream.Insert(3)}); err != nil {
+		t.Fatal(err)
+	}
+	e.StopIngest()
+	e.StopIngest() // idempotent
+	// Queued work was drained by StopIngest.
+	if got := e.IngestStats().UpdatesApplied; got != 2 {
+		t.Fatalf("applied %d updates after stop, want 2", got)
+	}
+	// Synchronous ingestion still works.
+	if err := e.IngestBatch("F", []stream.Update{stream.Insert(3)}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Answer("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != 9 { // f_3 = 3, self join = 9, single value is exact
+		t.Fatalf("estimate %d, want 9", a.Estimate)
+	}
+}

@@ -58,10 +58,12 @@ type snapshot struct {
 	Synopses []synSnap             `json:"synopses"`
 }
 
-// Snapshot writes the engine state to w.
+// Snapshot writes the engine state to w. With the ingestion pipeline
+// running, the pipeline is drained and held quiescent for the duration of
+// the write, so the snapshot observes every enqueued batch applied in
+// full — never a batch applied to one synopsis but not another.
 func (e *Engine) Snapshot(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	defer e.readQuiesce()()
 
 	snap := snapshot{
 		Version:  snapshotVersion,
@@ -121,6 +123,7 @@ func (e *Engine) Restore(r io.Reader) error {
 	if len(e.streams) != 0 || len(e.queries) != 0 {
 		return fmt.Errorf("engine: restore requires an empty engine (no streams or queries)")
 	}
+	e.routes = nil
 	for _, q := range snap.Queries {
 		if q.Left.Predicate != "" {
 			if _, ok := e.predicates[q.Left.Predicate]; !ok {

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/engine"
+	"skimsketch/internal/workload"
+)
+
+// The ingest-throughput experiment measures the engine's update path in
+// three modes over the same workload: one element at a time (the
+// pre-pipeline baseline), synchronous batches (amortized locking and hash
+// evaluation), and the concurrent sharded pipeline. Batching is exact —
+// all modes must produce bit-for-bit identical query answers, and the run
+// fails if they do not — so the only thing that varies is throughput.
+
+// IngestThroughputConfig configures the throughput comparison.
+type IngestThroughputConfig struct {
+	// Domain is the value domain of both streams.
+	Domain uint64
+	// StreamLen is the number of updates fed to each stream.
+	StreamLen int
+	// Zipf is the workload skew.
+	Zipf float64
+	// Sketch is the engine's synopsis configuration.
+	Sketch core.Config
+	// Workers, Batch and Queue size the concurrent pipeline mode.
+	Workers int
+	Batch   int
+	Queue   int
+}
+
+// DefaultIngestThroughput returns a configuration that runs in a few
+// seconds on a laptop.
+func DefaultIngestThroughput() IngestThroughputConfig {
+	return IngestThroughputConfig{
+		Domain:    1 << 14,
+		StreamLen: 200000,
+		Zipf:      1.0,
+		Sketch:    core.Config{Tables: 7, Buckets: 1024, Seed: 42},
+		Workers:   4,
+		Batch:     256,
+		Queue:     64,
+	}
+}
+
+// IngestMode is one measured ingestion strategy.
+type IngestMode struct {
+	Label         string
+	Elapsed       time.Duration
+	UpdatesPerSec float64
+	// Speedup is relative to the sequential baseline.
+	Speedup float64
+	// Answer is the query estimate after ingestion (identical across
+	// modes by the exactness guarantee).
+	Answer int64
+}
+
+// IngestResult is the completed throughput comparison.
+type IngestResult struct {
+	Config IngestThroughputConfig
+	Modes  []IngestMode
+}
+
+// WriteTable renders the result as an aligned text table.
+func (r IngestResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# ingest throughput: 2 streams x %d updates, domain %d, zipf %.2f, sketch %dx%d\n",
+		r.Config.StreamLen, r.Config.Domain, r.Config.Zipf, r.Config.Sketch.Tables, r.Config.Sketch.Buckets)
+	fmt.Fprintf(w, "%-16s  %12s  %14s  %8s  %12s\n", "mode", "elapsed", "updates/sec", "speedup", "answer")
+	for _, m := range r.Modes {
+		fmt.Fprintf(w, "%-16s  %12s  %14.0f  %7.2fx  %12d\n",
+			m.Label, m.Elapsed.Round(time.Millisecond), m.UpdatesPerSec, m.Speedup, m.Answer)
+	}
+}
+
+// WriteCSV renders the result as CSV.
+func (r IngestResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "mode,elapsed_ns,updates_per_sec,speedup,answer"); err != nil {
+		return err
+	}
+	for _, m := range r.Modes {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.0f,%.3f,%d\n",
+			m.Label, m.Elapsed.Nanoseconds(), m.UpdatesPerSec, m.Speedup, m.Answer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingestEngine builds a fresh engine with streams F and G and one COUNT
+// join query, the minimal Figure 1 setup.
+func ingestEngine(cfg IngestThroughputConfig) (*engine.Engine, error) {
+	e, err := engine.New(engine.Options{SketchConfig: cfg.Sketch})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.DeclareStream("F", cfg.Domain); err != nil {
+		return nil, err
+	}
+	if err := e.DeclareStream("G", cfg.Domain); err != nil {
+		return nil, err
+	}
+	err = e.RegisterQuery(engine.QuerySpec{
+		Name:  "q",
+		Agg:   engine.Count,
+		Left:  engine.Side{Stream: "F"},
+		Right: engine.Side{Stream: "G"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// RunIngestThroughput measures the three ingestion modes on identical
+// workloads and checks that their answers agree exactly.
+func RunIngestThroughput(cfg IngestThroughputConfig) (IngestResult, error) {
+	if cfg.StreamLen <= 0 {
+		return IngestResult{}, fmt.Errorf("experiments: StreamLen must be positive")
+	}
+	zf, err := workload.NewZipf(cfg.Domain, cfg.Zipf, 3)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	zg, err := workload.NewZipf(cfg.Domain, cfg.Zipf, 4)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	fUpdates := workload.MakeStream(zf, cfg.StreamLen)
+	gUpdates := workload.MakeStream(zg, cfg.StreamLen)
+	total := float64(len(fUpdates) + len(gUpdates))
+
+	res := IngestResult{Config: cfg}
+
+	// Mode 1: the sequential baseline, one Update call per element.
+	e, err := ingestEngine(cfg)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	start := time.Now()
+	for _, u := range fUpdates {
+		if err := e.Update("F", u.Value, u.Weight); err != nil {
+			return IngestResult{}, err
+		}
+	}
+	for _, u := range gUpdates {
+		if err := e.Update("G", u.Value, u.Weight); err != nil {
+			return IngestResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	ans, err := e.Answer("q")
+	if err != nil {
+		return IngestResult{}, err
+	}
+	res.Modes = append(res.Modes, IngestMode{
+		Label:         "sequential",
+		Elapsed:       elapsed,
+		UpdatesPerSec: total / elapsed.Seconds(),
+		Speedup:       1,
+		Answer:        ans.Estimate,
+	})
+
+	// Modes 2 and 3: synchronous batches, then the concurrent pipeline.
+	run := func(label string, pipeline bool) error {
+		e, err := ingestEngine(cfg)
+		if err != nil {
+			return err
+		}
+		if pipeline {
+			err := e.StartIngest(engine.IngestConfig{
+				Workers:    cfg.Workers,
+				BatchSize:  cfg.Batch,
+				QueueDepth: cfg.Queue,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		chunk := cfg.Batch
+		if chunk <= 0 {
+			chunk = 256
+		}
+		start := time.Now()
+		// Alternate F and G chunks so the pipeline's fan-out is exercised
+		// the way a live feed would.
+		for off := 0; off < cfg.StreamLen; off += chunk {
+			end := off + chunk
+			if end > cfg.StreamLen {
+				end = cfg.StreamLen
+			}
+			if err := e.IngestBatch("F", fUpdates[off:end]); err != nil {
+				return err
+			}
+			if err := e.IngestBatch("G", gUpdates[off:end]); err != nil {
+				return err
+			}
+		}
+		e.Flush()
+		elapsed := time.Since(start)
+		if pipeline {
+			e.StopIngest()
+		}
+		ans, err := e.Answer("q")
+		if err != nil {
+			return err
+		}
+		res.Modes = append(res.Modes, IngestMode{
+			Label:         label,
+			Elapsed:       elapsed,
+			UpdatesPerSec: total / elapsed.Seconds(),
+			Speedup:       res.Modes[0].Elapsed.Seconds() / elapsed.Seconds(),
+			Answer:        ans.Estimate,
+		})
+		return nil
+	}
+	if err := run(fmt.Sprintf("batched-%d", cfg.Batch), false); err != nil {
+		return IngestResult{}, err
+	}
+	if err := run(fmt.Sprintf("pipeline-%dw", cfg.Workers), true); err != nil {
+		return IngestResult{}, err
+	}
+
+	// Batching is exact: every mode must land on the identical estimate.
+	for _, m := range res.Modes[1:] {
+		if m.Answer != res.Modes[0].Answer {
+			return IngestResult{}, fmt.Errorf("experiments: mode %s answer %d != sequential answer %d (batching must be exact)",
+				m.Label, m.Answer, res.Modes[0].Answer)
+		}
+	}
+	return res, nil
+}

@@ -38,6 +38,39 @@ func Apply(updates []Update, sinks ...Sink) {
 	}
 }
 
+// BatchSink is implemented by synopses that can fold a whole batch of
+// updates at once. Implementations must be exactly equivalent to calling
+// Update once per element in order — batching is a pure amortization of
+// per-element overhead, never an approximation.
+type BatchSink interface {
+	UpdateBatch(batch []Update)
+}
+
+// ApplyBatched feeds updates to each sink in chunks of batchSize, using
+// UpdateBatch on sinks that implement BatchSink and falling back to
+// per-element Update otherwise. batchSize <= 0 means one chunk.
+func ApplyBatched(updates []Update, batchSize int, sinks ...Sink) {
+	if batchSize <= 0 || batchSize > len(updates) {
+		batchSize = len(updates)
+	}
+	for off := 0; off < len(updates); off += batchSize {
+		end := off + batchSize
+		if end > len(updates) {
+			end = len(updates)
+		}
+		chunk := updates[off:end]
+		for _, s := range sinks {
+			if bs, ok := s.(BatchSink); ok {
+				bs.UpdateBatch(chunk)
+			} else {
+				for _, u := range chunk {
+					s.Update(u.Value, u.Weight)
+				}
+			}
+		}
+	}
+}
+
 // FreqVector is the exact (net) frequency vector of a stream: value →
 // accumulated weight. It is the ground truth against which estimators are
 // evaluated, and also serves as the carrier for skimmed dense frequencies.
@@ -54,6 +87,13 @@ func (f FreqVector) Update(value uint64, weight int64) {
 		delete(f, value)
 	} else {
 		f[value] = n
+	}
+}
+
+// UpdateBatch implements BatchSink as a sequential fold.
+func (f FreqVector) UpdateBatch(batch []Update) {
+	for _, u := range batch {
+		f.Update(u.Value, u.Weight)
 	}
 }
 

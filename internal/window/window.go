@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"skimsketch/internal/core"
+	"skimsketch/internal/stream"
 )
 
 // Window summarizes the most recent elements of one stream.
@@ -78,6 +79,31 @@ func (w *Window) Update(value uint64, weight int64) {
 		if w.live < len(w.buckets)-1 {
 			w.live++
 		}
+	}
+}
+
+// UpdateBatch folds a whole batch, splitting it along bucket boundaries
+// so each piece can use the sketch's batched update; rotation and expiry
+// happen exactly where the sequential loop would trigger them. It
+// implements stream.BatchSink.
+func (w *Window) UpdateBatch(batch []stream.Update) {
+	for len(batch) > 0 {
+		n := w.bucketCap - w.curCount
+		if n > int64(len(batch)) {
+			n = int64(len(batch))
+		}
+		w.buckets[w.cur].UpdateBatch(batch[:n])
+		w.curCount += n
+		w.total += n
+		if w.curCount == w.bucketCap {
+			w.cur = (w.cur + 1) % len(w.buckets)
+			w.buckets[w.cur].Reset() // expire the oldest bucket
+			w.curCount = 0
+			if w.live < len(w.buckets)-1 {
+				w.live++
+			}
+		}
+		batch = batch[n:]
 	}
 }
 
