@@ -29,15 +29,16 @@ func main() {
 	partitioned := flag.Bool("partitioned", false, "add the Dobra-style partitioned baseline to fig5 experiments (granted exact priors)")
 	workers := flag.Int("ingest.workers", 4, "shard workers for the ingest experiment's pipeline mode")
 	batch := flag.Int("ingest.batch", 256, "batch size for the ingest experiment's batched modes")
+	qworkers := flag.Int("query.workers", 0, "estimation goroutines per answer in the ingest experiment (0 or 1 = sequential, -1 = one per CPU); answers are bit-identical for every setting")
 	flag.Parse()
 
-	if err := run(*exp, *full, *seeds, *csvOut, *partitioned, *workers, *batch); err != nil {
+	if err := run(*exp, *full, *seeds, *csvOut, *partitioned, *workers, *batch, *qworkers); err != nil {
 		fmt.Fprintln(os.Stderr, "expdriver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, full bool, seeds int, csvOut, partitioned bool, workers, batch int) error {
+func run(exp string, full bool, seeds int, csvOut, partitioned bool, workers, batch, qworkers int) error {
 	switch exp {
 	case "fig5a":
 		return runFig5(pick5a(full), seeds, csvOut, partitioned)
@@ -54,10 +55,10 @@ func run(exp string, full bool, seeds int, csvOut, partitioned bool, workers, ba
 	case "threshold":
 		return runThreshold(seeds, csvOut)
 	case "ingest":
-		return runIngest(full, csvOut, workers, batch)
+		return runIngest(full, csvOut, workers, batch, qworkers)
 	case "all":
 		for _, e := range []string{"fig5a", "fig5b", "census", "update", "ablation", "skew", "threshold", "ingest"} {
-			if err := run(e, full, seeds, csvOut, partitioned, workers, batch); err != nil {
+			if err := run(e, full, seeds, csvOut, partitioned, workers, batch, qworkers); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -70,7 +71,7 @@ func run(exp string, full bool, seeds int, csvOut, partitioned bool, workers, ba
 
 // runIngest compares sequential, batched and concurrent-pipeline engine
 // ingestion on one workload (see internal/experiments/ingest.go).
-func runIngest(full, csvOut bool, workers, batch int) error {
+func runIngest(full, csvOut bool, workers, batch, qworkers int) error {
 	cfg := experiments.DefaultIngestThroughput()
 	if full {
 		cfg.StreamLen *= 10
@@ -81,6 +82,7 @@ func runIngest(full, csvOut bool, workers, batch int) error {
 	if batch > 0 {
 		cfg.Batch = batch
 	}
+	cfg.QueryWorkers = qworkers
 	res, err := experiments.RunIngestThroughput(cfg)
 	if err != nil {
 		return err

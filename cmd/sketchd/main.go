@@ -12,6 +12,12 @@
 // /snapshot drain the pipeline first, so reads always observe every
 // previously accepted update.
 //
+// With -query.workers N the estimation behind /answer runs on N
+// goroutines (-1 = one per CPU) with bit-identical answers; /answer
+// clones the synopses and estimates outside the engine locks, so a slow
+// answer never stalls ingestion, and repeated answers with no
+// intervening updates are served from an epoch-keyed cache.
+//
 // API (JSON bodies, JSON responses):
 //
 //	POST   /streams     {"name":"F","domain":262144}
@@ -41,18 +47,20 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		tables  = flag.Int("tables", 7, "default sketch tables d")
-		buckets = flag.Int("buckets", 2048, "default sketch buckets b")
-		seed    = flag.Uint64("seed", 42, "default sketch seed")
-		workers = flag.Int("ingest.workers", 0, "concurrent ingest shard workers (0 = synchronous ingestion)")
-		batch   = flag.Int("ingest.batch", 256, "max updates per queued ingest batch")
-		queue   = flag.Int("ingest.queue", 64, "per-worker ingest queue capacity in batches")
+		addr     = flag.String("addr", ":8080", "listen address")
+		tables   = flag.Int("tables", 7, "default sketch tables d")
+		buckets  = flag.Int("buckets", 2048, "default sketch buckets b")
+		seed     = flag.Uint64("seed", 42, "default sketch seed")
+		workers  = flag.Int("ingest.workers", 0, "concurrent ingest shard workers (0 = synchronous ingestion)")
+		batch    = flag.Int("ingest.batch", 256, "max updates per queued ingest batch")
+		queue    = flag.Int("ingest.queue", 64, "per-worker ingest queue capacity in batches")
+		qworkers = flag.Int("query.workers", 0, "estimation goroutines per /answer (0 or 1 = sequential, -1 = one per CPU); answers are bit-identical for every setting")
 	)
 	flag.Parse()
 
 	eng, err := engine.New(engine.Options{
 		SketchConfig: core.Config{Tables: *tables, Buckets: *buckets, Seed: *seed},
+		QueryWorkers: *qworkers,
 	})
 	if err != nil {
 		log.Fatal("sketchd: ", err)

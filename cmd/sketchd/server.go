@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"skimsketch/internal/engine"
@@ -16,10 +18,13 @@ import (
 type server struct {
 	eng *engine.Engine
 	mux *http.ServeMux
+	// snapshot produces the engine checkpoint; a field so tests can
+	// substitute a failing producer.
+	snapshot func(io.Writer) error
 }
 
 func newServer(eng *engine.Engine) *server {
-	s := &server{eng: eng, mux: http.NewServeMux()}
+	s := &server{eng: eng, mux: http.NewServeMux(), snapshot: eng.Snapshot}
 	s.mux.HandleFunc("/streams", s.handleStreams)
 	s.mux.HandleFunc("/predicates", s.handlePredicates)
 	s.mux.HandleFunc("/queries", s.handleQueries)
@@ -182,7 +187,10 @@ func (s *server) handleQueryByName(w http.ResponseWriter, r *http.Request) {
 type updateReq struct {
 	Stream string `json:"stream"`
 	Value  uint64 `json:"value"`
-	Weight int64  `json:"weight"`
+	// Weight is a pointer so an omitted weight (nil → default 1, a bare
+	// insert) is distinguishable from an explicit 0 (a no-op update the
+	// caller really asked for, e.g. generated pipelines).
+	Weight *int64 `json:"weight"`
 }
 
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -208,23 +216,39 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// Group the batch by stream (preserving per-stream order) and hand
 	// each group to the engine's batched ingest path, which amortizes
 	// locking and hash evaluation and, with -ingest.workers, applies
-	// concurrently. Validation is synchronous: a bad update rejects its
-	// whole stream group before any of it is applied.
+	// concurrently.
 	groups := make(map[string][]stream.Update)
 	order := make([]string, 0, 2)
 	for _, u := range batch {
-		weight := u.Weight
-		if weight == 0 {
-			weight = 1 // bare inserts may omit the weight
+		weight := int64(1) // bare inserts may omit the weight
+		if u.Weight != nil {
+			weight = *u.Weight
 		}
 		if _, ok := groups[u.Stream]; !ok {
 			order = append(order, u.Stream)
 		}
 		groups[u.Stream] = append(groups[u.Stream], stream.Update{Value: u.Value, Weight: weight})
 	}
+	// The request is atomic: validate EVERY stream group first, then
+	// apply. A bad group (unknown stream, out-of-domain value) rejects the
+	// whole request with the failing stream named, and no group — not even
+	// an earlier valid one — is applied.
+	for _, name := range order {
+		if err := s.eng.ValidateBatch(name, groups[name]); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error":  err.Error(),
+				"stream": name,
+			})
+			return
+		}
+	}
 	for _, name := range order {
 		if err := s.eng.IngestBatch(name, groups[name]); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			// Unreachable in practice (validated above); report faithfully.
+			writeJSON(w, http.StatusInternalServerError, map[string]string{
+				"error":  err.Error(),
+				"stream": name,
+			})
 			return
 		}
 	}
@@ -273,19 +297,27 @@ func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleSnapshot streams the engine state (streams, queries, synopsis
+// handleSnapshot serves the engine state (streams, queries, synopsis
 // counters) as the engine's JSON snapshot format — the checkpoint side
-// of a restart.
+// of a restart. The snapshot is buffered before any byte reaches the
+// client: a mid-serialization error therefore yields a clean 500 JSON
+// error instead of a 200 with a truncated body glued to an error
+// fragment (which a restoring client would read as a corrupt
+// checkpoint), and success responses carry an exact Content-Length.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.eng.Snapshot(w); err != nil {
-		// Headers are gone; best effort.
-		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	var buf bytes.Buffer
+	if err := s.snapshot(&buf); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // handleRestore loads a snapshot into the (empty) engine. Range
@@ -316,6 +348,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"synopsisRefs": st.SynopsisRefs,
 		"totalWords":   st.TotalWords,
 		"updateCounts": st.UpdateCounts,
-		"ingest":       s.eng.IngestStats(),
+		"queryWorkers": st.QueryWorkers,
+		"answerCache": map[string]int64{
+			"hits":   st.AnswerCacheHits,
+			"misses": st.AnswerCacheMisses,
+		},
+		"ingest": s.eng.IngestStats(),
 	})
 }

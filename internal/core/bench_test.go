@@ -82,6 +82,32 @@ func BenchmarkEstimateJoin(b *testing.B) {
 	}
 }
 
+// benchEstimateJoin1M measures the full skimmed-join estimate over a
+// ≥1M-value domain, the regime where the O(m·d) skim scan dominates and
+// the parallel scan pays. Compare the Workers variants for the query-path
+// speedup; outputs are bit-identical by TestQuickEstimateJoinWorkers-
+// Equivalence, so only wall-clock differs.
+func benchEstimateJoin1M(b *testing.B, workers int) {
+	const domain = 1 << 20
+	c := cfg(7, 1024, 9)
+	f, g := MustNewHashSketch(c), MustNewHashSketch(c)
+	z1, _ := workload.NewZipf(domain, 1.2, 1)
+	z2, _ := workload.NewZipf(domain, 1.2, 2)
+	stream.Apply(workload.MakeStream(z1, 200000), f)
+	stream.Apply(workload.MakeStream(z2, 200000), g)
+	opts := &Options{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateJoin(f, g, domain, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateJoin1MSequential(b *testing.B) { benchEstimateJoin1M(b, 1) }
+func BenchmarkEstimateJoin1MWorkers2(b *testing.B)   { benchEstimateJoin1M(b, 2) }
+func BenchmarkEstimateJoin1MWorkers4(b *testing.B)   { benchEstimateJoin1M(b, 4) }
+
 func BenchmarkClone(b *testing.B) {
 	s := benchSketch(b, cfg(7, 1024, 1), 10000)
 	b.ResetTimer()

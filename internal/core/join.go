@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"skimsketch/internal/stats"
 	"skimsketch/internal/stream"
 )
 
@@ -42,6 +41,13 @@ type Options struct {
 	// plain per-bucket inner product of the raw hash sketches. This is
 	// the ablation baseline showing what skimming buys.
 	NoSkim bool
+	// Workers parallelizes the skim's domain scan and the per-table
+	// subjoin medians: > 1 uses that many goroutines, 0 or 1 runs
+	// sequentially, < 0 uses one goroutine per CPU. The result is
+	// bit-for-bit identical for every setting — point estimates are
+	// independent reads and counter subtraction commutes — so Workers
+	// trades nothing but wall-clock time.
+	Workers int
 }
 
 // EstimateJoin implements procedure ESTSKIMJOINSIZE (Figure 4),
@@ -55,8 +61,10 @@ func EstimateJoin(f, g *HashSketch, domain uint64, opts *Options) (Estimate, err
 	if opts == nil {
 		opts = &Options{}
 	}
+	workers := resolveWorkers(opts.Workers)
 	if opts.NoSkim {
-		return Estimate{Total: sparseSparse(f, g), SparseSparse: sparseSparse(f, g)}, nil
+		ss := sparseSparseWorkers(f, g, workers)
+		return Estimate{Total: ss, SparseSparse: ss}, nil
 	}
 
 	tf := opts.ThresholdF
@@ -69,15 +77,15 @@ func EstimateJoin(f, g *HashSketch, domain uint64, opts *Options) (Estimate, err
 	}
 
 	fs, gs := f.Clone(), g.Clone()
-	fd, err := fs.SkimDense(domain, tf)
+	fd, err := fs.skimDenseParallel(domain, tf, false, workers)
 	if err != nil {
 		return Estimate{}, err
 	}
-	gd, err := gs.SkimDense(domain, tg)
+	gd, err := gs.skimDenseParallel(domain, tg, false, workers)
 	if err != nil {
 		return Estimate{}, err
 	}
-	return estimateFromSkimmed(fs, gs, fd, gd, tf, tg), nil
+	return estimateFromSkimmedWorkers(fs, gs, fd, gd, tf, tg, workers), nil
 }
 
 // EstimateJoinSkimmed is the core of ESTSKIMJOINSIZE for callers that
@@ -92,6 +100,10 @@ func EstimateJoinSkimmed(fSkimmed, gSkimmed *HashSketch, fDense, gDense stream.F
 }
 
 func estimateFromSkimmed(fs, gs *HashSketch, fd, gd stream.FreqVector, tf, tg int64) Estimate {
+	return estimateFromSkimmedWorkers(fs, gs, fd, gd, tf, tg, 1)
+}
+
+func estimateFromSkimmedWorkers(fs, gs *HashSketch, fd, gd stream.FreqVector, tf, tg int64, workers int) Estimate {
 	e := Estimate{
 		ThresholdF:  tf,
 		ThresholdG:  tg,
@@ -99,46 +111,17 @@ func estimateFromSkimmed(fs, gs *HashSketch, fd, gd stream.FreqVector, tf, tg in
 		DenseCountG: len(gd),
 	}
 	e.DenseDense = fd.InnerProduct(gd)
-	e.DenseSparse = subJoin(fd, gs)
-	e.SparseDense = subJoin(gd, fs)
-	e.SparseSparse = sparseSparse(fs, gs)
+	e.DenseSparse = subJoinWorkers(fd, gs, workers)
+	e.SparseDense = subJoinWorkers(gd, fs, workers)
+	e.SparseSparse = sparseSparseWorkers(fs, gs, workers)
 	e.Total = e.DenseDense + e.DenseSparse + e.SparseDense + e.SparseSparse
 	return e
 }
 
-// subJoin implements procedure ESTSUBJOINSIZE (Figure 4): the estimate of
-// Σ_v dense_v · sparse_v as, per table j, Σ_{v ∈ dense}
-// dense_v·C[j][h_j(v)]·ξ_j(v), boosted by the median over tables.
-func subJoin(dense stream.FreqVector, sk *HashSketch) int64 {
-	if len(dense) == 0 {
-		return 0
-	}
-	d, b := sk.cfg.Tables, sk.cfg.Buckets
-	rows := make([]int64, d)
-	for j := 0; j < d; j++ {
-		var sum int64
-		for v, w := range dense {
-			sum += w * sk.counters[j*b+sk.bucketOf(j, v)] * sk.signOf(j, v)
-		}
-		rows[j] = sum
-	}
-	return stats.MedianInt64(rows)
-}
-
-// sparseSparse estimates Σ_v f'_v·g'_v as, per table j, the bucket-wise
-// inner product Σ_k F[j][k]·G[j][k] (Steps 3–7 of ESTSKIMJOINSIZE; the
-// two sketches share h_j, so identical values meet in identical buckets),
-// boosted by the median over tables.
-func sparseSparse(f, g *HashSketch) int64 {
-	d, b := f.cfg.Tables, f.cfg.Buckets
-	rows := make([]int64, d)
-	for j := 0; j < d; j++ {
-		var sum int64
-		base := j * b
-		for k := 0; k < b; k++ {
-			sum += f.counters[base+k] * g.counters[base+k]
-		}
-		rows[j] = sum
-	}
-	return stats.MedianInt64(rows)
-}
+// subJoinWorkers (parallel.go) implements procedure ESTSUBJOINSIZE
+// (Figure 4): the estimate of Σ_v dense_v · sparse_v as, per table j,
+// Σ_{v ∈ dense} dense_v·C[j][h_j(v)]·ξ_j(v), boosted by the median over
+// tables. sparseSparseWorkers estimates Σ_v f'_v·g'_v as, per table j,
+// the bucket-wise inner product Σ_k F[j][k]·G[j][k] (Steps 3–7 of
+// ESTSKIMJOINSIZE; the two sketches share h_j, so identical values meet
+// in identical buckets), likewise median-boosted.

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
+)
+
+// Parallel variants of the query-time estimation procedures. Every
+// function here is bit-for-bit equivalent to its sequential counterpart:
+// the SKIMDENSE extraction test reads counters without mutating them (the
+// subtraction happens once, after the scan), so partitioning the domain
+// across workers changes nothing but wall-clock time; the per-table rows
+// of the subjoin estimators are independent, so computing them
+// concurrently feeds the exact same slice to the median. Property tests
+// in parallel_test.go pin the equivalence for arbitrary streams, domains,
+// thresholds and worker counts.
+
+// resolveWorkers maps a Workers knob to a goroutine count: n > 1 is taken
+// as-is, n in {0, 1} means sequential (the backward-compatible zero
+// value), and n < 0 selects one worker per available CPU.
+func resolveWorkers(n int) int {
+	if n < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// SkimDenseParallel is SkimDense with the domain scan partitioned into
+// disjoint contiguous value ranges across workers goroutines (workers ≤ 1
+// degenerates to the sequential scan; workers < 0 uses one per CPU). The
+// returned dense vector and the skimmed counters are identical to
+// SkimDense's for every input.
+func (s *HashSketch) SkimDenseParallel(domain uint64, threshold int64, workers int) (stream.FreqVector, error) {
+	return s.skimDenseParallel(domain, threshold, false, workers)
+}
+
+// SkimDenseSignedParallel is SkimDenseSigned with the parallel scan of
+// SkimDenseParallel.
+func (s *HashSketch) SkimDenseSignedParallel(domain uint64, threshold int64, workers int) (stream.FreqVector, error) {
+	return s.skimDenseParallel(domain, threshold, true, workers)
+}
+
+func (s *HashSketch) skimDenseParallel(domain uint64, threshold int64, signed bool, workers int) (stream.FreqVector, error) {
+	if threshold <= 0 {
+		return nil, errSkimThreshold(threshold)
+	}
+	w := resolveWorkers(workers)
+	if uint64(w) > domain {
+		w = int(domain)
+	}
+	if w <= 1 {
+		dense := stream.NewFreqVector()
+		s.scanDense(0, domain, threshold, signed, dense)
+		s.subtract(dense)
+		return dense, nil
+	}
+	// Each worker scans a contiguous range into its own vector; ranges are
+	// disjoint, so the merge is a plain union and the combined vector is
+	// exactly the sequential scan's.
+	parts := make([]stream.FreqVector, w)
+	chunk, rem := domain/uint64(w), domain%uint64(w)
+	var wg sync.WaitGroup
+	lo := uint64(0)
+	for i := 0; i < w; i++ {
+		size := chunk
+		if uint64(i) < rem {
+			size++
+		}
+		hi := lo + size
+		parts[i] = stream.NewFreqVector()
+		wg.Add(1)
+		go func(lo, hi uint64, out stream.FreqVector) {
+			defer wg.Done()
+			s.scanDense(lo, hi, threshold, signed, out)
+		}(lo, hi, parts[i])
+		lo = hi
+	}
+	wg.Wait()
+	dense := parts[0]
+	for _, p := range parts[1:] {
+		for v, est := range p {
+			dense[v] = est
+		}
+	}
+	s.subtract(dense)
+	return dense, nil
+}
+
+// scanDense runs the SKIMDENSE extraction test over [lo, hi), recording
+// qualifying estimates in out. It only reads the sketch — callers
+// subtract the merged dense vector afterwards — and reuses per-call
+// scratch buffers so the inner loop allocates nothing.
+func (s *HashSketch) scanDense(lo, hi uint64, threshold int64, signed bool, out stream.FreqVector) {
+	d, b := s.cfg.Tables, s.cfg.Buckets
+	ests := make([]int64, d)
+	scratch := make([]int64, d)
+	for v := lo; v < hi; v++ {
+		for j := 0; j < d; j++ {
+			ests[j] = s.counters[j*b+s.bucketOf(j, v)] * s.signOf(j, v)
+		}
+		est := medianScratch(ests, scratch)
+		if est >= threshold || (signed && -est >= threshold) {
+			out[v] = est
+		}
+	}
+}
+
+// medianScratch returns stats.MedianInt64(xs) using a caller-provided
+// scratch buffer instead of allocating: the multiset's sorted order is
+// unique, so the lower-middle element is identical whatever sort
+// produces it.
+func medianScratch(xs, scratch []int64) int64 {
+	copy(scratch, xs)
+	for i := 1; i < len(scratch); i++ {
+		x := scratch[i]
+		j := i - 1
+		for j >= 0 && scratch[j] > x {
+			scratch[j+1] = scratch[j]
+			j--
+		}
+		scratch[j+1] = x
+	}
+	return scratch[(len(scratch)-1)/2]
+}
+
+// forEachTable runs fn(j) for every table index in [0, d), striped across
+// at most `workers` goroutines. Rows are independent in every caller, so
+// execution order cannot affect results.
+func forEachTable(d, workers int, fn func(j int)) {
+	w := workers
+	if w > d {
+		w = d
+	}
+	if w <= 1 {
+		for j := 0; j < d; j++ {
+			fn(j)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for j := start; j < d; j += w {
+				fn(j)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// subJoinWorkers is subJoin with per-table rows computed concurrently.
+// Concurrent read-only iteration over the dense map is safe; each worker
+// writes only its own rows[j] slots.
+func subJoinWorkers(dense stream.FreqVector, sk *HashSketch, workers int) int64 {
+	if len(dense) == 0 {
+		return 0
+	}
+	d, b := sk.cfg.Tables, sk.cfg.Buckets
+	rows := make([]int64, d)
+	forEachTable(d, workers, func(j int) {
+		var sum int64
+		for v, w := range dense {
+			sum += w * sk.counters[j*b+sk.bucketOf(j, v)] * sk.signOf(j, v)
+		}
+		rows[j] = sum
+	})
+	return stats.MedianInt64(rows)
+}
+
+// sparseSparseWorkers is sparseSparse with per-table rows computed
+// concurrently.
+func sparseSparseWorkers(f, g *HashSketch, workers int) int64 {
+	d, b := f.cfg.Tables, f.cfg.Buckets
+	rows := make([]int64, d)
+	forEachTable(d, workers, func(j int) {
+		var sum int64
+		base := j * b
+		for k := 0; k < b; k++ {
+			sum += f.counters[base+k] * g.counters[base+k]
+		}
+		rows[j] = sum
+	})
+	return stats.MedianInt64(rows)
+}

@@ -48,7 +48,7 @@ func (s *HashSketch) EstimateSelfJoin(domain uint64, opts *SelfJoinEstimateOpts)
 	}
 	d := SelfJoinDecomposition{Threshold: thr, DenseCount: len(dense)}
 	d.DenseDense = dense.InnerProduct(dense)
-	d.DenseSparse = subJoin(dense, c)
+	d.DenseSparse = subJoinWorkers(dense, c, 1)
 	d.SparseSparse = c.SelfJoinEstimate()
 	d.Total = d.DenseDense + 2*d.DenseSparse + d.SparseSparse
 	return d, nil

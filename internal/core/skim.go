@@ -24,8 +24,9 @@ import (
 // This is the reference O(m·d) implementation that scans the whole domain
 // [0, domain); package dyadic provides the O(b·d·log m) dyadic-interval
 // variant of Section 4.2 and tests verify the two extract identical dense
-// sets. The sketch is mutated; callers who need to preserve the synopsis
-// should Clone first (EstimateJoin does).
+// sets, and SkimDenseParallel partitions this scan across goroutines with
+// bit-identical results. The sketch is mutated; callers who need to
+// preserve the synopsis should Clone first (EstimateJoin does).
 func (s *HashSketch) SkimDense(domain uint64, threshold int64) (stream.FreqVector, error) {
 	return s.skimDense(domain, threshold, false)
 }
@@ -39,18 +40,11 @@ func (s *HashSketch) SkimDenseSigned(domain uint64, threshold int64) (stream.Fre
 }
 
 func (s *HashSketch) skimDense(domain uint64, threshold int64, signed bool) (stream.FreqVector, error) {
-	if threshold <= 0 {
-		return nil, fmt.Errorf("core: skim threshold must be positive, got %d", threshold)
-	}
-	dense := stream.NewFreqVector()
-	for v := uint64(0); v < domain; v++ {
-		est := s.PointEstimate(v)
-		if est >= threshold || (signed && -est >= threshold) {
-			dense[v] = est
-		}
-	}
-	s.subtract(dense)
-	return dense, nil
+	return s.skimDenseParallel(domain, threshold, signed, 1)
+}
+
+func errSkimThreshold(threshold int64) error {
+	return fmt.Errorf("core: skim threshold must be positive, got %d", threshold)
 }
 
 // SkimValues performs the (one-sided) extraction test and counter
@@ -59,7 +53,7 @@ func (s *HashSketch) skimDense(domain uint64, threshold int64, signed bool) (str
 // discovers the candidates by descending the interval hierarchy.
 func (s *HashSketch) SkimValues(candidates []uint64, threshold int64) (stream.FreqVector, error) {
 	if threshold <= 0 {
-		return nil, fmt.Errorf("core: skim threshold must be positive, got %d", threshold)
+		return nil, errSkimThreshold(threshold)
 	}
 	dense := stream.NewFreqVector()
 	for _, v := range candidates {

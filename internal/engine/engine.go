@@ -93,6 +93,12 @@ type Answer struct {
 type Options struct {
 	// SketchConfig is the default synopsis configuration.
 	SketchConfig core.Config
+	// QueryWorkers parallelizes estimation inside Answer: > 1 uses that
+	// many goroutines for the skim scan and the per-table medians, 0 or 1
+	// estimates sequentially, < 0 uses one goroutine per CPU. Answers are
+	// bit-identical for every setting (core's parallel-skim exactness
+	// guarantee), so this trades nothing but CPU for latency.
+	QueryWorkers int
 }
 
 // Engine is the stream query processor. All methods are safe for
@@ -122,6 +128,23 @@ type Engine struct {
 	routes       map[string][][]*synEntry
 	routesShards int
 	metrics      *monitor.IngestMetrics
+
+	// Query-path state (see Answer): the number of estimation workers,
+	// the per-query answer cache keyed on the synopsis epochs captured at
+	// snapshot time, and its hit/miss counters. All guarded by e.mu.
+	queryWorkers int
+	answers      map[string]cachedAnswer
+	cacheHits    int64
+	cacheMisses  int64
+}
+
+// cachedAnswer memoizes one query's last computed answer together with
+// the update epochs of its two synopses at snapshot time. Any update
+// routed to either synopsis bumps that synopsis' epoch, so an epoch
+// mismatch is exactly "the cache entry is stale".
+type cachedAnswer struct {
+	leftEpoch, rightEpoch uint64
+	ans                   Answer
 }
 
 type streamInfo struct {
@@ -146,9 +169,16 @@ type synEntry struct {
 	// Exactly one of sketch/win is set.
 	sketch *core.HashSketch
 	win    *window.Window
+	// epoch counts update deliveries to this synopsis. It is written only
+	// under the apply lock's ownership discipline (a synopsis belongs to
+	// exactly one shard worker; inline appliers hold the exclusive side)
+	// and read under the exclusive side, so plain arithmetic is
+	// race-free. Answer snapshots it to key the answer cache.
+	epoch uint64
 }
 
 func (e *synEntry) update(v uint64, w int64) {
+	e.epoch++
 	if e.pred != nil && !e.pred(v, w) {
 		return
 	}
@@ -164,6 +194,7 @@ func (e *synEntry) update(v uint64, w int64) {
 // update once per element in order.
 func (e *synEntry) updateBatch(batch []stream.Update) {
 	if e.pred == nil {
+		e.epoch += uint64(len(batch))
 		if e.win != nil {
 			e.win.UpdateBatch(batch)
 		} else {
@@ -176,12 +207,25 @@ func (e *synEntry) updateBatch(batch []stream.Update) {
 	}
 }
 
-// materialize returns a sketch snapshot suitable for estimation.
+// materialize returns a sketch suitable for estimation. For a plain
+// synopsis this is the live sketch itself; use snapshot when the result
+// must outlive the apply lock.
 func (e *synEntry) materialize() *core.HashSketch {
 	if e.win != nil {
 		return e.win.Combined()
 	}
 	return e.sketch
+}
+
+// snapshot returns a private copy suitable for estimation after the
+// apply lock is released: a window's Combined is already a fresh
+// roll-up, a plain synopsis is cloned. Callers hold the exclusive apply
+// lock for the duration of the copy only.
+func (e *synEntry) snapshot() *core.HashSketch {
+	if e.win != nil {
+		return e.win.Combined()
+	}
+	return e.sketch.Clone()
 }
 
 func (e *synEntry) words() int {
@@ -203,12 +247,14 @@ func New(opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("engine: default sketch config: %w", err)
 	}
 	return &Engine{
-		defaults:   opts.SketchConfig,
-		streams:    make(map[string]*streamInfo),
-		predicates: make(map[string]Predicate),
-		synopses:   make(map[synKey]*synEntry),
-		queries:    make(map[string]*queryState),
-		metrics:    monitor.NewIngestMetrics(),
+		defaults:     opts.SketchConfig,
+		streams:      make(map[string]*streamInfo),
+		predicates:   make(map[string]Predicate),
+		synopses:     make(map[synKey]*synEntry),
+		queries:      make(map[string]*queryState),
+		metrics:      monitor.NewIngestMetrics(),
+		queryWorkers: opts.QueryWorkers,
+		answers:      make(map[string]cachedAnswer),
 	}, nil
 }
 
@@ -293,6 +339,9 @@ func (e *Engine) registerLocked(spec QuerySpec) error {
 		return fmt.Errorf("engine: query %q: right: %w", spec.Name, err)
 	}
 	e.queries[spec.Name] = &queryState{spec: spec, left: left, right: right, domain: domain}
+	// A fresh synopsis pair restarts at epoch 0; drop any answer cached
+	// under this name so it cannot masquerade as current.
+	delete(e.answers, spec.Name)
 	return nil
 }
 
@@ -369,6 +418,7 @@ func (e *Engine) RemoveQuery(name string) error {
 	e.release(q.left)
 	e.release(q.right)
 	delete(e.queries, name)
+	delete(e.answers, name)
 	return nil
 }
 
@@ -403,17 +453,47 @@ func (e *Engine) Update(streamName string, value uint64, weight int64) error {
 // Answer serves the current approximate answer of a registered query. If
 // the ingestion pipeline is running it is drained first, so the answer
 // reflects every batch enqueued before the call.
+//
+// The quiesce/apply lock is held only long enough to clone the two
+// synopses and capture their update epochs; the estimation itself — the
+// expensive O(domain·tables) skim scan — runs outside every lock, so
+// ingestion proceeds concurrently with a long-running Answer. If both
+// epochs match a previously computed answer, that answer is returned
+// without re-estimating (the per-query answer cache); any update routed
+// to either synopsis bumps its epoch and so invalidates the entry.
 func (e *Engine) Answer(name string) (Answer, error) {
-	defer e.readQuiesce()()
+	release := e.readQuiesce()
 	q, ok := e.queries[name]
 	if !ok {
+		release()
 		return Answer{}, fmt.Errorf("engine: unknown query %q", name)
 	}
-	est, err := core.EstimateJoin(q.left.materialize(), q.right.materialize(), q.domain, nil)
+	le, re := q.left.epoch, q.right.epoch
+	if c, ok := e.answers[name]; ok && c.leftEpoch == le && c.rightEpoch == re {
+		e.cacheHits++
+		release()
+		return c.ans, nil
+	}
+	e.cacheMisses++
+	fs, gs := q.left.snapshot(), q.right.snapshot()
+	domain, workers, agg := q.domain, e.queryWorkers, q.spec.Agg
+	release()
+
+	est, err := core.EstimateJoin(fs, gs, domain, &core.Options{Workers: workers})
 	if err != nil {
 		return Answer{}, fmt.Errorf("engine: query %q: %w", name, err)
 	}
-	return Answer{Query: name, Agg: q.spec.Agg, Estimate: est.Total, Detail: est}, nil
+	ans := Answer{Query: name, Agg: agg, Estimate: est.Total, Detail: est}
+
+	// Store under e.mu, but only if the query we snapshotted is still the
+	// registered one — a concurrent Remove+Register must not resurrect an
+	// answer computed over the old synopses.
+	e.mu.Lock()
+	if cur, ok := e.queries[name]; ok && cur == q {
+		e.answers[name] = cachedAnswer{leftEpoch: le, rightEpoch: re, ans: ans}
+	}
+	e.mu.Unlock()
+	return ans, nil
 }
 
 // Stats summarizes the engine state.
@@ -424,6 +504,12 @@ type Stats struct {
 	SynopsisRefs int // total query-side references; > Synopses means sharing
 	TotalWords   int
 	UpdateCounts map[string]int64
+	// QueryWorkers is the configured estimation parallelism (Options).
+	QueryWorkers int
+	// AnswerCacheHits/Misses count Answer calls served from the epoch-
+	// keyed answer cache versus freshly estimated.
+	AnswerCacheHits   int64
+	AnswerCacheMisses int64
 }
 
 // Stats reports synopsis sharing and memory usage. Like Answer, it
@@ -431,10 +517,13 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	defer e.readQuiesce()()
 	st := Stats{
-		Streams:      len(e.streams),
-		Queries:      len(e.queries),
-		Synopses:     len(e.synopses),
-		UpdateCounts: make(map[string]int64, len(e.streams)),
+		Streams:           len(e.streams),
+		Queries:           len(e.queries),
+		Synopses:          len(e.synopses),
+		UpdateCounts:      make(map[string]int64, len(e.streams)),
+		QueryWorkers:      e.queryWorkers,
+		AnswerCacheHits:   e.cacheHits,
+		AnswerCacheMisses: e.cacheMisses,
 	}
 	for name, info := range e.streams {
 		st.UpdateCounts[name] = info.count

@@ -196,6 +196,23 @@ func (ing *ingester) enqueue(e *Engine, route [][]*synEntry, updates []stream.Up
 	}
 }
 
+// ValidateBatch checks that a batch could be ingested — the stream is
+// declared and every value lies inside its domain — without applying
+// anything. Callers staging a multi-stream request can validate every
+// group first and only then apply, making the whole request atomic.
+func (e *Engine) ValidateBatch(streamName string, updates []stream.Update) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	info, ok := e.streams[streamName]
+	if !ok {
+		return fmt.Errorf("engine: unknown stream %q", streamName)
+	}
+	if err := stream.Validate(updates, info.domain); err != nil {
+		return fmt.Errorf("engine: stream %q: %w", streamName, err)
+	}
+	return nil
+}
+
 // IngestBatch validates and ingests a batch of updates for one stream.
 // With a running pipeline (StartIngest) the batch is enqueued to the
 // shard workers and applied asynchronously — a following Flush, Answer,

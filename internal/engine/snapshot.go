@@ -124,6 +124,9 @@ func (e *Engine) Restore(r io.Reader) error {
 		return fmt.Errorf("engine: restore requires an empty engine (no streams or queries)")
 	}
 	e.routes = nil
+	// Restored synopses restart at epoch 0: any answers cached before the
+	// restore would collide with the fresh epochs, so drop them all.
+	e.answers = make(map[string]cachedAnswer)
 	for _, q := range snap.Queries {
 		if q.Left.Predicate != "" {
 			if _, ok := e.predicates[q.Left.Predicate]; !ok {

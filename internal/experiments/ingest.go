@@ -31,6 +31,10 @@ type IngestThroughputConfig struct {
 	Workers int
 	Batch   int
 	Queue   int
+	// QueryWorkers parallelizes the answer-time estimation
+	// (engine.Options.QueryWorkers); answers are bit-identical for every
+	// setting, so the AnswerTime column is the only thing it moves.
+	QueryWorkers int
 }
 
 // DefaultIngestThroughput returns a configuration that runs in a few
@@ -57,6 +61,9 @@ type IngestMode struct {
 	// Answer is the query estimate after ingestion (identical across
 	// modes by the exactness guarantee).
 	Answer int64
+	// AnswerTime is the wall-clock cost of the post-ingest Answer call
+	// (the skimmed-sketch estimation, parallelized by QueryWorkers).
+	AnswerTime time.Duration
 }
 
 // IngestResult is the completed throughput comparison.
@@ -69,21 +76,21 @@ type IngestResult struct {
 func (r IngestResult) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "# ingest throughput: 2 streams x %d updates, domain %d, zipf %.2f, sketch %dx%d\n",
 		r.Config.StreamLen, r.Config.Domain, r.Config.Zipf, r.Config.Sketch.Tables, r.Config.Sketch.Buckets)
-	fmt.Fprintf(w, "%-16s  %12s  %14s  %8s  %12s\n", "mode", "elapsed", "updates/sec", "speedup", "answer")
+	fmt.Fprintf(w, "%-16s  %12s  %14s  %8s  %12s  %12s\n", "mode", "elapsed", "updates/sec", "speedup", "answer", "answer_time")
 	for _, m := range r.Modes {
-		fmt.Fprintf(w, "%-16s  %12s  %14.0f  %7.2fx  %12d\n",
-			m.Label, m.Elapsed.Round(time.Millisecond), m.UpdatesPerSec, m.Speedup, m.Answer)
+		fmt.Fprintf(w, "%-16s  %12s  %14.0f  %7.2fx  %12d  %12s\n",
+			m.Label, m.Elapsed.Round(time.Millisecond), m.UpdatesPerSec, m.Speedup, m.Answer, m.AnswerTime.Round(time.Microsecond))
 	}
 }
 
 // WriteCSV renders the result as CSV.
 func (r IngestResult) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "mode,elapsed_ns,updates_per_sec,speedup,answer"); err != nil {
+	if _, err := fmt.Fprintln(w, "mode,elapsed_ns,updates_per_sec,speedup,answer,answer_time_ns"); err != nil {
 		return err
 	}
 	for _, m := range r.Modes {
-		if _, err := fmt.Fprintf(w, "%s,%d,%.0f,%.3f,%d\n",
-			m.Label, m.Elapsed.Nanoseconds(), m.UpdatesPerSec, m.Speedup, m.Answer); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.0f,%.3f,%d,%d\n",
+			m.Label, m.Elapsed.Nanoseconds(), m.UpdatesPerSec, m.Speedup, m.Answer, m.AnswerTime.Nanoseconds()); err != nil {
 			return err
 		}
 	}
@@ -93,7 +100,7 @@ func (r IngestResult) WriteCSV(w io.Writer) error {
 // ingestEngine builds a fresh engine with streams F and G and one COUNT
 // join query, the minimal Figure 1 setup.
 func ingestEngine(cfg IngestThroughputConfig) (*engine.Engine, error) {
-	e, err := engine.New(engine.Options{SketchConfig: cfg.Sketch})
+	e, err := engine.New(engine.Options{SketchConfig: cfg.Sketch, QueryWorkers: cfg.QueryWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +159,7 @@ func RunIngestThroughput(cfg IngestThroughputConfig) (IngestResult, error) {
 		}
 	}
 	elapsed := time.Since(start)
+	ansStart := time.Now()
 	ans, err := e.Answer("q")
 	if err != nil {
 		return IngestResult{}, err
@@ -162,6 +170,7 @@ func RunIngestThroughput(cfg IngestThroughputConfig) (IngestResult, error) {
 		UpdatesPerSec: total / elapsed.Seconds(),
 		Speedup:       1,
 		Answer:        ans.Estimate,
+		AnswerTime:    time.Since(ansStart),
 	})
 
 	// Modes 2 and 3: synchronous batches, then the concurrent pipeline.
@@ -204,6 +213,7 @@ func RunIngestThroughput(cfg IngestThroughputConfig) (IngestResult, error) {
 		if pipeline {
 			e.StopIngest()
 		}
+		ansStart := time.Now()
 		ans, err := e.Answer("q")
 		if err != nil {
 			return err
@@ -214,6 +224,7 @@ func RunIngestThroughput(cfg IngestThroughputConfig) (IngestResult, error) {
 			UpdatesPerSec: total / elapsed.Seconds(),
 			Speedup:       res.Modes[0].Elapsed.Seconds() / elapsed.Seconds(),
 			Answer:        ans.Estimate,
+			AnswerTime:    time.Since(ansStart),
 		})
 		return nil
 	}
