@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs main.run with stdout/stderr redirected to files and
+// returns the exit code and outputs.
+func capture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir := t.TempDir()
+	outF, err := os.Create(filepath.Join(dir, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.Create(filepath.Join(dir, "err"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	outF.Close()
+	errF.Close()
+	ob, _ := os.ReadFile(filepath.Join(dir, "out"))
+	eb, _ := os.ReadFile(filepath.Join(dir, "err"))
+	return code, string(ob), string(eb)
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, out, _ := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"lockscope", "detseed", "atomicmix", "widenmul"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, errOut := capture(t, "-analyzers", "nosuch", "./...")
+	if code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown analyzer") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+// TestFindingsExitNonZero runs the full suite over a fixture package
+// that violates several invariants and checks the exit code and output
+// format contract that CI depends on.
+func TestFindingsExitNonZero(t *testing.T) {
+	code, out, errOut := capture(t, "../../internal/lint/testdata/src/widenmul")
+	if code != 1 {
+		t.Fatalf("exit = %d (stderr %q), want 1", code, errOut)
+	}
+	if !strings.Contains(out, "[widenmul]") || !strings.Contains(out, "widenmul.go") {
+		t.Errorf("findings output missing file or analyzer tag:\n%s", out)
+	}
+	if !strings.Contains(errOut, "finding(s)") {
+		t.Errorf("stderr summary missing: %q", errOut)
+	}
+}
+
+// TestRepoIsClean is the acceptance criterion: the suite must exit
+// clean over the whole repository.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and checks every package")
+	}
+	code, out, errOut := capture(t, "../...")
+	if code != 0 {
+		t.Fatalf("sketchlint over the repo exited %d:\n%s%s", code, out, errOut)
+	}
+}

@@ -1,0 +1,37 @@
+package agms
+
+import "testing"
+
+// FuzzUnmarshalBinary feeds arbitrary bytes to the sketch decoder; it
+// must reject garbage with an error, never panic, and accept its own
+// output. Mirrors core.FuzzUnmarshalBinary.
+func FuzzUnmarshalBinary(f *testing.F) {
+	s := MustNew(3, 8, 1)
+	s.Update(3, 5)
+	blob, _ := s.MarshalBinary()
+	f.Add(blob)
+	f.Add(blob[:20])
+	f.Add([]byte("SKAGgarbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Sketch
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Anything accepted must be a structurally sound sketch.
+		s1, s2 := r.Dims()
+		if s1 <= 0 || s2 <= 0 || len(r.counters) != s1*s2 {
+			t.Fatalf("accepted sketch with bad layout s1=%d s2=%d", s1, s2)
+		}
+		// Re-marshalling an accepted sketch must succeed and re-decode.
+		blob2, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r2 Sketch
+		if err := r2.UnmarshalBinary(blob2); err != nil {
+			t.Fatalf("self-output rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package countmin
+
+import "testing"
+
+// FuzzUnmarshalBinary feeds arbitrary bytes to the sketch decoder; it
+// must reject garbage with an error, never panic, and accept its own
+// output. Mirrors core.FuzzUnmarshalBinary.
+func FuzzUnmarshalBinary(f *testing.F) {
+	s := MustNew(3, 8, 1)
+	s.Update(3, 5)
+	s.Update(9, -2)
+	blob, _ := s.MarshalBinary()
+	f.Add(blob)
+	f.Add(blob[:20])
+	f.Add([]byte("SKCMgarbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Sketch
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Anything accepted must be a structurally sound sketch.
+		if r.d <= 0 || r.b <= 0 || len(r.counters) != r.d*r.b || len(r.hs) != r.d {
+			t.Fatalf("accepted sketch with bad layout d=%d b=%d", r.d, r.b)
+		}
+		// Re-marshalling an accepted sketch must succeed and re-decode.
+		blob2, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r2 Sketch
+		if err := r2.UnmarshalBinary(blob2); err != nil {
+			t.Fatalf("self-output rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package countmin
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := MustNew(4, 32, 99)
+	for i := 0; i < 500; i++ {
+		s.Update(uint64(i%61), 1+int64(i%5))
+	}
+	s.Update(7, -3) // exercise sawNeg
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Sketch
+	if err := r.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Compatible(&r) {
+		t.Fatal("round-tripped sketch is not compatible with original")
+	}
+	if r.net != s.net || r.sawNeg != s.sawNeg {
+		t.Fatalf("tallies diverge: net %d vs %d, sawNeg %v vs %v", r.net, s.net, r.sawNeg, s.sawNeg)
+	}
+	for v := uint64(0); v < 61; v++ {
+		if got, want := r.PointQuery(v), s.PointQuery(v); got != want {
+			t.Fatalf("PointQuery(%d) = %d after round trip, want %d", v, got, want)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	s := MustNew(2, 8, 1)
+	blob, _ := s.MarshalBinary()
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"short", blob[:10], "truncated"},
+		{"magic", append([]byte("NOPE"), blob[4:]...), "magic"},
+		{"version", func() []byte {
+			b := append([]byte(nil), blob...)
+			b[4] = 0xFF
+			return b
+		}(), "version"},
+		{"length", blob[:len(blob)-8], "bytes"},
+		{"sawneg", func() []byte {
+			b := append([]byte(nil), blob...)
+			b[32] = 7
+			return b
+		}(), "sawNeg"},
+		{"dims", func() []byte {
+			b := append([]byte(nil), blob...)
+			b[8], b[9], b[10], b[11] = 0, 0, 0, 0
+			return b
+		}(), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r Sketch
+			err := r.UnmarshalBinary(tc.data)
+			if err == nil {
+				t.Fatal("garbage accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

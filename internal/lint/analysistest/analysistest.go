@@ -1,0 +1,148 @@
+// Package analysistest runs a lint.Analyzer over fixture packages
+// under a testdata tree and checks its diagnostics against
+// expectations written in the fixtures as comments:
+//
+//	rand.Intn(10) // want `global math/rand`
+//
+// Each `// want` comment carries one or more double-quoted or
+// backquoted regular expressions that must each match a diagnostic
+// reported on that line; diagnostics not matched by any expectation,
+// and expectations not matched by any diagnostic, fail the test. It is
+// the stdlib-only analogue of golang.org/x/tools/go/analysis/analysistest.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"skimsketch/internal/lint"
+)
+
+// Run loads every package under root (a testdata/src/<case> directory,
+// relative to the test's working directory), applies the analyzer, and
+// compares diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *lint.Analyzer, root string) {
+	t.Helper()
+	patterns, err := packageDirs(root)
+	if err != nil {
+		t.Fatalf("scanning %s: %v", root, err)
+	}
+	if len(patterns) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+	pkgs, err := lint.LoadPackages(patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+
+	var diags []lint.Diagnostic
+	wants := make(map[string][]*expectation) // filename → expectations
+	for _, pkg := range pkgs {
+		diags = append(diags, lint.Run(pkg, []*lint.Analyzer{a})...)
+		for _, file := range pkg.Files {
+			name := pkg.Fset.Position(file.Pos()).Filename
+			exps, err := collectWants(pkg, file)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			wants[name] = exps
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, exp := range wants[d.Pos.Filename] {
+			if exp.line == d.Pos.Line && !exp.used && exp.re.MatchString(d.Message) {
+				exp.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for name, exps := range wants {
+		for _, exp := range exps {
+			if !exp.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", name, exp.line, exp.re)
+			}
+		}
+	}
+}
+
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantArg matches one quoted or backquoted expectation string.
+var wantArg = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(pkg *lint.Package, file *ast.File) ([]*expectation, error) {
+	var exps []*expectation
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			args := wantArg.FindAllString(rest, -1)
+			if len(args) == 0 {
+				return nil, fmt.Errorf("line %d: malformed want comment %q", line, c.Text)
+			}
+			for _, arg := range args {
+				var pattern string
+				if strings.HasPrefix(arg, "`") {
+					pattern = strings.Trim(arg, "`")
+				} else {
+					p, err := strconv.Unquote(arg)
+					if err != nil {
+						return nil, fmt.Errorf("line %d: bad want string %s: %v", line, arg, err)
+					}
+					pattern = p
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad want regexp %q: %v", line, pattern, err)
+				}
+				exps = append(exps, &expectation{line: line, re: re})
+			}
+		}
+	}
+	return exps, nil
+}
+
+// packageDirs returns every directory under root containing .go files,
+// as ./-prefixed patterns for the go tool (testdata is excluded from
+// wildcard patterns, so fixture packages must be named explicitly).
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					dirs = append(dirs, "./"+filepath.ToSlash(path))
+					break
+				}
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic
+// in one place and by plain load or store in another. Mixing the two
+// is a data race the race detector only catches if a test happens to
+// interleave both access paths: the plain access tears or is reordered
+// against the atomic one. The engine/ingest stats counters are the
+// motivating surface — a counter read by /stats while shard workers
+// atomically increment it must be atomic.Int64 (or atomically accessed)
+// everywhere, including "harmless" resets.
+//
+// Fields of the atomic.IntN/UintN/Bool/Pointer wrapper types are safe
+// by construction and never flagged. The fix for a finding is usually
+// to migrate the field to one of those types.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags struct fields accessed both through sync/atomic and by plain load/store",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	type fieldUse struct {
+		atomic     []token.Pos
+		plain      []token.Pos
+		atomicName string // the sync/atomic function used, for the message
+	}
+	uses := make(map[*types.Var]*fieldUse)
+	use := func(field *types.Var) *fieldUse {
+		fu := uses[field]
+		if fu == nil {
+			fu = &fieldUse{}
+			uses[field] = fu
+		}
+		return fu
+	}
+
+	// fieldOf resolves a selector expression to the struct field it
+	// names, if any.
+	fieldOf := func(e ast.Expr) *types.Var {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return nil
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok || !v.IsField() {
+			return nil
+		}
+		return v
+	}
+
+	// atomicArg marks &x.f arguments of sync/atomic calls; it returns
+	// the set of selector expressions consumed atomically so the plain
+	// walk can skip them.
+	consumed := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.Info, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			sig, ok := f.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods of atomic.Int64 etc. are safe types
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				field := fieldOf(un.X)
+				if field == nil {
+					continue
+				}
+				fu := use(field)
+				fu.atomic = append(fu.atomic, un.Pos())
+				fu.atomicName = f.Name()
+				consumed[ast.Unparen(un.X)] = true
+			}
+			return true
+		})
+	}
+	if len(uses) == 0 {
+		return // no address-taken atomic accesses in this package
+	}
+
+	// Every other selection of those same fields is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if consumed[ast.Expr(sel)] {
+				return true
+			}
+			field := fieldOf(sel)
+			if field == nil {
+				return true
+			}
+			if fu, ok := uses[field]; ok && len(fu.atomic) > 0 {
+				fu.plain = append(fu.plain, sel.Pos())
+			}
+			return true
+		})
+	}
+
+	for field, fu := range uses {
+		if len(fu.atomic) == 0 || len(fu.plain) == 0 {
+			continue
+		}
+		for _, pos := range fu.plain {
+			pass.Reportf(pos, "field %s is accessed with atomic.%s elsewhere but plainly here; use sync/atomic consistently or migrate the field to an atomic.%s-style type", field.Name(), fu.atomicName, atomicTypeFor(field))
+		}
+	}
+}
+
+// atomicTypeFor suggests the atomic wrapper type matching the field.
+func atomicTypeFor(field *types.Var) string {
+	if b, ok := field.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64, types.Int:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uint, types.Uintptr:
+			return "Uint64"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	return "Value"
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"skimsketch/internal/lint"
+	"skimsketch/internal/lint/analysistest"
+)
+
+func TestDetSeed(t *testing.T) {
+	analysistest.Run(t, lint.DetSeed, "testdata/src/detseed")
+}
+
+// TestDetSeedSkipsNonDeterministicPackages loads a fixture package
+// that is not in the deterministic set: its global rand and clock
+// reads must produce no findings (the fixture has no want comments,
+// so any diagnostic fails the run).
+func TestDetSeedSkipsNonDeterministicPackages(t *testing.T) {
+	analysistest.Run(t, lint.DetSeed, "testdata/src/detseed_clean")
+}

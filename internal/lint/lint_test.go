@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"skimsketch/internal/lint"
+)
+
+func TestByName(t *testing.T) {
+	all, err := lint.ByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("All() has %d analyzers, want 4", len(all))
+	}
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing metadata", a)
+		}
+		names = append(names, a.Name)
+	}
+	got := strings.Join(names, ",")
+	if got != "lockscope,detseed,atomicmix,widenmul" {
+		t.Fatalf("analyzer order = %s", got)
+	}
+
+	two, err := lint.ByName("widenmul, lockscope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "widenmul" || two[1].Name != "lockscope" {
+		t.Fatalf("ByName selection = %v", two)
+	}
+
+	if _, err := lint.ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+// TestLoadPackagesTypeChecks loads a real repo package through the
+// export-data loader and sanity-checks the type information that every
+// analyzer depends on.
+func TestLoadPackagesTypeChecks(t *testing.T) {
+	pkgs, err := lint.LoadPackages("skimsketch/internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types.Name() != "stats" {
+		t.Fatalf("package name = %q", pkg.Types.Name())
+	}
+	if len(pkg.Files) == 0 || len(pkg.Info.Defs) == 0 {
+		t.Fatal("loaded package has no syntax or type info")
+	}
+	if pkg.Types.Scope().Lookup("MedianInt64") == nil {
+		t.Fatal("MedianInt64 not found in package scope")
+	}
+}
+
+func TestLoadPackagesBadPattern(t *testing.T) {
+	if _, err := lint.LoadPackages("skimsketch/internal/doesnotexist"); err == nil {
+		t.Fatal("LoadPackages accepted a nonexistent package")
+	}
+}

@@ -1,0 +1,64 @@
+// Fixture for the atomicmix analyzer: struct fields accessed through
+// sync/atomic in one place and plainly in another.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	// applied is incremented atomically by workers but read and reset
+	// plainly — the bug class.
+	applied int64
+	// enqueued is accessed atomically everywhere — fine.
+	enqueued int64
+	// plainOnly never sees an atomic access — fine.
+	plainOnly int64
+	// typed uses the atomic wrapper type — safe by construction.
+	typed atomic.Int64
+	// ready mixes a 32-bit flag.
+	ready uint32
+}
+
+func (c *counters) incApplied() {
+	atomic.AddInt64(&c.applied, 1)
+}
+
+func (c *counters) readApplied() int64 {
+	return c.applied // want `field applied is accessed with atomic\.AddInt64 elsewhere but plainly here`
+}
+
+func (c *counters) resetApplied() {
+	c.applied = 0 // want `field applied is accessed with atomic\.AddInt64 elsewhere but plainly here`
+}
+
+func (c *counters) incEnqueued() {
+	atomic.AddInt64(&c.enqueued, 1)
+}
+
+func (c *counters) readEnqueued() int64 {
+	return atomic.LoadInt64(&c.enqueued)
+}
+
+func (c *counters) bumpPlain() {
+	c.plainOnly++
+}
+
+func (c *counters) useTyped() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+func (c *counters) setReady() {
+	atomic.StoreUint32(&c.ready, 1)
+}
+
+func (c *counters) isReady() bool {
+	return c.ready == 1 // want `field ready is accessed with atomic\.StoreUint32 elsewhere but plainly here`
+}
+
+// Suppressed: a constructor-time reset acknowledged via the directive.
+func newCounters() *counters {
+	c := &counters{}
+	//sketchlint:ignore atomicmix not yet shared, plain store is safe here
+	c.applied = 0
+	return c
+}

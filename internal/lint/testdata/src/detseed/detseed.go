@@ -1,0 +1,96 @@
+// Fixture for the detseed analyzer. The package is named "workload",
+// one of the deterministic packages, so every nondeterminism class
+// must be flagged here.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Bad: draws from the global, externally seedable source.
+func globalDraw() int {
+	return rand.Intn(10) // want `global math/rand source via rand\.Intn`
+}
+
+// Bad: global float draw and global shuffle.
+func globalShuffle(xs []int) {
+	if rand.Float64() < 0.5 { // want `global math/rand source via rand\.Float64`
+		rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand source via rand\.Shuffle`
+	}
+}
+
+// Good: an injected source; rand.New/NewSource construct rather than draw.
+func seededDraw(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// Good: constructing a source from an explicit seed.
+func newGenerator(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Bad: wall-clock reads leak into results.
+func stampNow() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock via time\.Now`
+}
+
+// Bad: time.Since is a disguised time.Now.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `reads the wall clock via time\.Since`
+}
+
+// Bad: appending while ranging a map depends on iteration order.
+func keysUnsorted(freq map[uint64]int64) []uint64 {
+	var out []uint64
+	for v := range freq { // want `map iteration with order-dependent effect \(append\)`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Bad: first-match-wins over a map is order-dependent.
+func anyHeavy(freq map[uint64]int64, threshold int64) (uint64, bool) {
+	for v, w := range freq { // want `map iteration with order-dependent effect \(early return\)`
+		if w >= threshold {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Good: commutative aggregation is order-independent.
+func totalWeight(freq map[uint64]int64) int64 {
+	var sum int64
+	for _, w := range freq {
+		sum += w
+	}
+	return sum
+}
+
+// Good: the canonical fix — collect keys, sort them, then use them.
+// The collecting append is not flagged because the slice is sorted in
+// the same function.
+func keysSorted(freq map[uint64]int64) []uint64 {
+	out := make([]uint64, 0, len(freq))
+	for v := range freq {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Bad: printing during map iteration emits in random order.
+func dump(freq map[uint64]int64) {
+	for v, w := range freq { // want `map iteration with order-dependent effect \(fmt output\)`
+		fmt.Println(v, w)
+	}
+}
+
+// Suppressed: the directive on the preceding line quiets the finding.
+func suppressedDraw() int {
+	//sketchlint:ignore detseed fixture exercising the suppression directive
+	return rand.Intn(10)
+}

@@ -1,0 +1,22 @@
+// Fixture for the detseed analyzer: this package is NOT one of the
+// deterministic packages, so global randomness and clock reads are
+// allowed and nothing here may be flagged.
+package server
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter for retry backoff is fine outside the deterministic packages.
+func backoff(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(int64(base)))
+}
+
+func uptimeSince(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func stamp() int64 {
+	return time.Now().Unix()
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WidenMul flags integer products that are widened only after the
+// multiply: int64(a*b) where a and b are narrower (or
+// platform-dependent) integers. Frequency counts in the self-join and
+// subjoin accumulation paths are ints; their product is taken in the
+// narrow type — overflowing silently on 32-bit platforms or for large
+// counts — and the int64 conversion then launders the wrapped value.
+// The fix is to widen the operands first: int64(a)*int64(b).
+//
+// Constant-folded products and products already computed in a 64-bit
+// type are not flagged.
+var WidenMul = &Analyzer{
+	Name: "widenmul",
+	Doc:  "flags int×int products widened to a 64-bit type only after the multiply",
+	Run:  runWidenMul,
+}
+
+func runWidenMul(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			// A conversion expression: the "callee" must be a type
+			// name denoting a 64-bit numeric type.
+			tv, ok := pass.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok {
+				return true
+			}
+			switch dst.Kind() {
+			case types.Int64, types.Uint64, types.Float64:
+			default:
+				return true
+			}
+			mul, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr)
+			if !ok || mul.Op != token.MUL {
+				return true
+			}
+			opTV, ok := pass.Info.Types[mul]
+			if !ok {
+				return true
+			}
+			if opTV.Value != nil {
+				return true // constant-folded, checked by the compiler
+			}
+			src, ok := opTV.Type.Underlying().(*types.Basic)
+			if !ok || src.Info()&types.IsInteger == 0 {
+				return true
+			}
+			if !narrowerThan64(src.Kind()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "product is computed in %s and only then widened to %s; convert the operands first (%s(a)*%s(b)) so the multiply cannot overflow", src.Name(), dst.Name(), dst.Name(), dst.Name())
+			return true
+		})
+	}
+}
+
+// narrowerThan64 reports whether the integer kind can overflow a
+// product that would fit in 64 bits. int and uint count: they are
+// 32-bit on 32-bit platforms, and treating them as wide bakes in a
+// portability bug.
+func narrowerThan64(k types.BasicKind) bool {
+	switch k {
+	case types.Int, types.Int8, types.Int16, types.Int32,
+		types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uintptr:
+		return true
+	}
+	return false
+}

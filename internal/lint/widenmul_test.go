@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"skimsketch/internal/lint"
+	"skimsketch/internal/lint/analysistest"
+)
+
+func TestWidenMul(t *testing.T) {
+	analysistest.Run(t, lint.WidenMul, "testdata/src/widenmul")
+}

@@ -17,6 +17,11 @@ type Mixture struct {
 // NewMixture wraps base. hot values should lie in base's domain; hotProb
 // is clamped to [0, 1].
 func NewMixture(base Generator, hot []uint64, hotProb float64, seed int64) *Mixture {
+	return NewMixtureRand(base, hot, hotProb, rngFromSeed(seed))
+}
+
+// NewMixtureRand is NewMixture drawing from an injected source.
+func NewMixtureRand(base Generator, hot []uint64, hotProb float64, rng *rand.Rand) *Mixture {
 	if hotProb < 0 {
 		hotProb = 0
 	}
@@ -25,7 +30,7 @@ func NewMixture(base Generator, hot []uint64, hotProb float64, seed int64) *Mixt
 	}
 	h := make([]uint64, len(hot))
 	copy(h, hot)
-	return &Mixture{hot: h, hotProb: hotProb, base: base, rng: rand.New(rand.NewSource(seed))}
+	return &Mixture{hot: h, hotProb: hotProb, base: base, rng: rng}
 }
 
 // Next draws one value.

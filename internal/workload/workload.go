@@ -22,6 +22,20 @@ type Generator interface {
 	Domain() uint64
 }
 
+// Every generator in this package draws randomness exclusively from an
+// injected *rand.Rand: the ...Rand constructors take the source
+// directly (compose generators over one source, or share a source with
+// the caller's other draws), and the seed-taking constructors are
+// shorthand for a private rand.New(rand.NewSource(seed)). Nothing here
+// touches the global math/rand source or the clock — the detseed
+// analyzer (cmd/sketchlint) enforces this, and the golden-stream tests
+// pin the exact byte output per seed.
+
+// rngFromSeed builds the package's canonical source for a seed.
+func rngFromSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
 // MakeStream draws n insert updates from g.
 func MakeStream(g Generator, n int) []stream.Update {
 	out := make([]stream.Update, n)
@@ -41,8 +55,17 @@ type Zipf struct {
 	rng    *rand.Rand
 }
 
-// NewZipf builds the CDF table for a Zipf(z) distribution over [0, m).
+// NewZipf builds the CDF table for a Zipf(z) distribution over [0, m),
+// drawing from a fresh source seeded with seed.
 func NewZipf(m uint64, z float64, seed int64) (*Zipf, error) {
+	return NewZipfRand(m, z, rngFromSeed(seed))
+}
+
+// NewZipfRand is NewZipf drawing from an injected source.
+func NewZipfRand(m uint64, z float64, rng *rand.Rand) (*Zipf, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("workload: rng must be non-nil")
+	}
 	if m == 0 {
 		return nil, fmt.Errorf("workload: domain must be positive")
 	}
@@ -58,7 +81,7 @@ func NewZipf(m uint64, z float64, seed int64) (*Zipf, error) {
 	for i := range cdf {
 		cdf[i] /= total
 	}
-	return &Zipf{cdf: cdf, domain: m, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Zipf{cdf: cdf, domain: m, rng: rng}, nil
 }
 
 // Next draws one value.
@@ -99,9 +122,15 @@ type Uniform struct {
 	rng    *rand.Rand
 }
 
-// NewUniform returns a uniform generator over [0, m).
+// NewUniform returns a uniform generator over [0, m), drawing from a
+// fresh source seeded with seed.
 func NewUniform(m uint64, seed int64) *Uniform {
-	return &Uniform{domain: m, rng: rand.New(rand.NewSource(seed))}
+	return NewUniformRand(m, rngFromSeed(seed))
+}
+
+// NewUniformRand is NewUniform drawing from an injected source.
+func NewUniformRand(m uint64, rng *rand.Rand) *Uniform {
+	return &Uniform{domain: m, rng: rng}
 }
 
 // Next draws one value.
@@ -121,12 +150,17 @@ type Permuted struct {
 
 // NewPermuted builds the bijection with the given seed.
 func NewPermuted(base Generator, seed int64) *Permuted {
+	return NewPermutedRand(base, rngFromSeed(seed))
+}
+
+// NewPermutedRand builds the bijection by consuming one shuffle from
+// the injected source.
+func NewPermutedRand(base Generator, rng *rand.Rand) *Permuted {
 	m := base.Domain()
 	perm := make([]uint64, m)
 	for i := range perm {
 		perm[i] = uint64(i)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 	return &Permuted{base: base, perm: perm}
 }
@@ -142,7 +176,11 @@ func (g *Permuted) Domain() uint64 { return g.base.Domain() }
 // value is inserted and later deleted again, exercising the general-update
 // path without changing the net frequency vector.
 func WithDeletes(updates []stream.Update, frac float64, seed int64) []stream.Update {
-	rng := rand.New(rand.NewSource(seed))
+	return WithDeletesRand(updates, frac, rngFromSeed(seed))
+}
+
+// WithDeletesRand is WithDeletes drawing from an injected source.
+func WithDeletesRand(updates []stream.Update, frac float64, rng *rand.Rand) []stream.Update {
 	out := make([]stream.Update, 0, len(updates)+int(2*frac*float64(len(updates))))
 	var pendingDeletes []uint64
 	for _, u := range updates {
