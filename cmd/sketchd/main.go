@@ -10,13 +10,25 @@
 // stream, and enqueued to N shard workers over bounded queues
 // (-ingest.batch and -ingest.queue size them); /answer, /stats and
 // /snapshot drain the pipeline first, so reads always observe every
-// previously accepted update.
+// previously accepted update. When every queue slot is full, /update
+// sheds load with 429 + Retry-After instead of blocking (the rejection
+// counter is in /stats under ingest.rejected).
 //
 // With -query.workers N the estimation behind /answer runs on N
 // goroutines (-1 = one per CPU) with bit-identical answers; /answer
 // clones the synopses and estimates outside the engine locks, so a slow
 // answer never stalls ingestion, and repeated answers with no
 // intervening updates are served from an epoch-keyed cache.
+//
+// With -checkpoint.dir the engine state (and the range predicates
+// needed to restore it) is persisted crash-safely: restored at boot,
+// saved every -checkpoint.interval, and saved once more on shutdown.
+// SIGINT/SIGTERM trigger a graceful exit — stop accepting connections,
+// drain in-flight requests and the ingest pipeline, write the final
+// checkpoint, exit 0 — so `kill -TERM` during active ingestion loses
+// nothing. Because sketches are linear, a restored checkpoint plus a
+// replayed tail is bit-identical to uninterrupted ingestion. See
+// docs/OPERATIONS.md for the full lifecycle contract.
 //
 // API (JSON bodies, JSON responses):
 //
@@ -36,47 +48,191 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
+	"skimsketch/internal/checkpoint"
 	"skimsketch/internal/core"
 	"skimsketch/internal/engine"
 )
 
-func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		tables   = flag.Int("tables", 7, "default sketch tables d")
-		buckets  = flag.Int("buckets", 2048, "default sketch buckets b")
-		seed     = flag.Uint64("seed", 42, "default sketch seed")
-		workers  = flag.Int("ingest.workers", 0, "concurrent ingest shard workers (0 = synchronous ingestion)")
-		batch    = flag.Int("ingest.batch", 256, "max updates per queued ingest batch")
-		queue    = flag.Int("ingest.queue", 64, "per-worker ingest queue capacity in batches")
-		qworkers = flag.Int("query.workers", 0, "estimation goroutines per /answer (0 or 1 = sequential, -1 = one per CPU); answers are bit-identical for every setting")
-	)
-	flag.Parse()
+// options collects every flag so run is testable without a flag set.
+type options struct {
+	addr     string
+	tables   int
+	buckets  int
+	seed     uint64
+	workers  int
+	batch    int
+	queue    int
+	qworkers int
 
-	eng, err := engine.New(engine.Options{
-		SketchConfig: core.Config{Tables: *tables, Buckets: *buckets, Seed: *seed},
-		QueryWorkers: *qworkers,
-	})
+	checkpointDir      string
+	checkpointInterval time.Duration
+
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+	shutdownTimeout   time.Duration
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("sketchd", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.tables, "tables", 7, "default sketch tables d")
+	fs.IntVar(&o.buckets, "buckets", 2048, "default sketch buckets b")
+	fs.Uint64Var(&o.seed, "seed", 42, "default sketch seed")
+	fs.IntVar(&o.workers, "ingest.workers", 0, "concurrent ingest shard workers (0 = synchronous ingestion)")
+	fs.IntVar(&o.batch, "ingest.batch", 256, "max updates per queued ingest batch")
+	fs.IntVar(&o.queue, "ingest.queue", 64, "per-worker ingest queue capacity in batches")
+	fs.IntVar(&o.qworkers, "query.workers", 0, "estimation goroutines per /answer (0 or 1 = sequential, -1 = one per CPU); answers are bit-identical for every setting")
+	fs.StringVar(&o.checkpointDir, "checkpoint.dir", "", "directory for crash-safe checkpoints (empty = no persistence)")
+	fs.DurationVar(&o.checkpointInterval, "checkpoint.interval", 30*time.Second, "periodic checkpoint interval (0 = only the final checkpoint on shutdown)")
+	fs.DurationVar(&o.readHeaderTimeout, "http.read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	fs.DurationVar(&o.writeTimeout, "http.write-timeout", 60*time.Second, "http.Server WriteTimeout; bound it above the slowest expected /answer")
+	fs.DurationVar(&o.idleTimeout, "http.idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections")
+	fs.DurationVar(&o.shutdownTimeout, "shutdown.timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:])
 	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts, os.Stdout); err != nil {
 		log.Fatal("sketchd: ", err)
 	}
-	if *workers > 0 {
-		err := eng.StartIngest(engine.IngestConfig{
-			Workers:    *workers,
-			BatchSize:  *batch,
-			QueueDepth: *queue,
-		})
-		if err != nil {
-			log.Fatal("sketchd: ", err)
-		}
-		fmt.Printf("sketchd ingest pipeline: %d workers, batch %d, queue %d\n", *workers, *batch, *queue)
+}
+
+// run is the whole server lifecycle: build the engine, restore the
+// newest checkpoint, serve until ctx is canceled (the signal handler),
+// then shut down gracefully — stop the listener, drain in-flight
+// requests, drain and stop the ingest pipeline, write the final
+// checkpoint. A nil return is a clean exit (process status 0).
+func run(ctx context.Context, opts options, out io.Writer) error {
+	eng, err := engine.New(engine.Options{
+		SketchConfig: core.Config{Tables: opts.tables, Buckets: opts.buckets, Seed: opts.seed},
+		QueryWorkers: opts.qworkers,
+	})
+	if err != nil {
+		return err
 	}
 	srv := newServer(eng)
-	fmt.Printf("sketchd listening on %s (default sketch %dx%d)\n", *addr, *tables, *buckets)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	// Restore before the ingest pipeline starts and before the listener
+	// opens: Engine.Restore requires an empty, quiescent engine.
+	var mgr *checkpoint.Manager
+	if opts.checkpointDir != "" {
+		mgr, err = checkpoint.NewManager(opts.checkpointDir)
+		if err != nil {
+			return err
+		}
+		switch path, err := mgr.Load(srv.readCheckpoint); {
+		case err == nil:
+			fmt.Fprintf(out, "sketchd restored checkpoint %s\n", path)
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			fmt.Fprintf(out, "sketchd starting fresh (no checkpoint in %s)\n", opts.checkpointDir)
+		default:
+			return err
+		}
+	}
+
+	if opts.workers > 0 {
+		err := eng.StartIngest(engine.IngestConfig{
+			Workers:    opts.workers,
+			BatchSize:  opts.batch,
+			QueueDepth: opts.queue,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "sketchd ingest pipeline: %d workers, batch %d, queue %d\n", opts.workers, opts.batch, opts.queue)
+	}
+
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: opts.readHeaderTimeout,
+		WriteTimeout:      opts.writeTimeout,
+		IdleTimeout:       opts.idleTimeout,
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sketchd listening on %s (default sketch %dx%d)\n", ln.Addr(), opts.tables, opts.buckets)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// Periodic checkpoints, stopped (and awaited) before the final save
+	// so the two writers never interleave on the shutdown path.
+	var cpWG sync.WaitGroup
+	cpCtx, cpCancel := context.WithCancel(ctx)
+	defer cpCancel()
+	if mgr != nil && opts.checkpointInterval > 0 {
+		cpWG.Add(1)
+		go func() {
+			defer cpWG.Done()
+			mgr.Run(cpCtx, opts.checkpointInterval, srv.writeCheckpoint, func(err error) {
+				log.Print("sketchd: periodic checkpoint: ", err)
+			})
+		}()
+	}
+
+	select {
+	case err := <-serveErr:
+		// The listener died on its own — not a requested shutdown.
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "sketchd shutting down")
+
+	// 1. Stop accepting connections and drain in-flight requests.
+	shCtx, cancel := context.WithTimeout(context.Background(), opts.shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		// Stragglers past the grace period are cut off; their updates were
+		// either fully accepted (and will be flushed below) or rejected.
+		log.Print("sketchd: shutdown grace period expired: ", err)
+		httpSrv.Close()
+	}
+	<-serveErr // Serve has returned (http.ErrServerClosed)
+
+	// 2. Quiesce the periodic checkpointer, then drain the ingest
+	// pipeline so every accepted update is folded into its synopsis.
+	cpCancel()
+	cpWG.Wait()
+	eng.Flush()
+	eng.StopIngest()
+
+	// 3. Final checkpoint: the state a restarted sketchd resumes from,
+	// bit-identical to what this process would have answered.
+	if mgr != nil {
+		if err := mgr.Save(srv.writeCheckpoint); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Fprintf(out, "sketchd final checkpoint written to %s\n", mgr.CurrentPath())
+	}
+	return nil
 }

@@ -9,10 +9,16 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"skimsketch/internal/engine"
 	"skimsketch/internal/stream"
 )
+
+// retryAfterSeconds is the Retry-After hint on 429 responses: the
+// ingest queues drain in well under a second unless a worker is wedged,
+// so one second is a safe client backoff.
+const retryAfterSeconds = 1
 
 // server wraps an engine with the HTTP API.
 type server struct {
@@ -21,6 +27,12 @@ type server struct {
 	// snapshot produces the engine checkpoint; a field so tests can
 	// substitute a failing producer.
 	snapshot func(io.Writer) error
+	// predMu guards preds, the wire-expressible definitions of every
+	// registered range predicate. Engine predicates are opaque functions,
+	// so the server keeps the definitions itself — they go into the
+	// checkpoint and are re-registered before restore at boot.
+	predMu sync.Mutex
+	preds  []predicateDef
 }
 
 func newServer(eng *engine.Engine) *server {
@@ -92,6 +104,42 @@ type predicateReq struct {
 	Max  uint64 `json:"max"`
 }
 
+// predicateDef is the persistent form of a range predicate: unlike the
+// engine's opaque predicate functions it serializes, so checkpoints are
+// self-contained.
+type predicateDef struct {
+	Name string `json:"name"`
+	Min  uint64 `json:"min"`
+	Max  uint64 `json:"max"`
+}
+
+// rangePredicate builds the engine predicate for a [min, max] value range.
+func rangePredicate(min, max uint64) engine.Predicate {
+	return func(v uint64, _ int64) bool { return v >= min && v <= max }
+}
+
+// registerRangePredicate registers def with the engine and records its
+// definition for checkpointing. Re-registering an identical definition
+// is a no-op (so checkpoint restore is idempotent); a conflicting
+// definition under an existing name is an error.
+func (s *server) registerRangePredicate(def predicateDef) error {
+	s.predMu.Lock()
+	defer s.predMu.Unlock()
+	for _, p := range s.preds {
+		if p.Name == def.Name {
+			if p == def {
+				return nil
+			}
+			return fmt.Errorf("predicate %q already registered with range [%d,%d]", p.Name, p.Min, p.Max)
+		}
+	}
+	if err := s.eng.RegisterPredicate(def.Name, rangePredicate(def.Min, def.Max)); err != nil {
+		return err
+	}
+	s.preds = append(s.preds, def)
+	return nil
+}
+
 func (s *server) handlePredicates(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
@@ -106,11 +154,7 @@ func (s *server) handlePredicates(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("max %d below min %d", req.Max, req.Min))
 		return
 	}
-	min, max := req.Min, req.Max
-	err := s.eng.RegisterPredicate(req.Name, func(v uint64, _ int64) bool {
-		return v >= min && v <= max
-	})
-	if err != nil {
+	if err := s.registerRangePredicate(predicateDef{Name: req.Name, Min: req.Min, Max: req.Max}); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -196,6 +240,20 @@ type updateReq struct {
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	// Backpressure: when the ingest queues are full, shed load with 429 +
+	// Retry-After instead of blocking the handler (and the client, and
+	// eventually every server connection) on a queue that may stay full.
+	// The check is first — before body parsing — because an overloaded
+	// server wants the cheapest possible rejection path. Nothing has been
+	// applied, so the request is safely retryable.
+	if s.eng.IngestSaturated() {
+		s.eng.NoteRejected(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": "ingest queues full; retry after backoff",
+		})
 		return
 	}
 	// Accept a single object or a batch array.
@@ -354,5 +412,59 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"misses": st.AnswerCacheMisses,
 		},
 		"ingest": s.eng.IngestStats(),
+		// saturated mirrors the admission probe behind /update's 429:
+		// true while at least one ingest queue is full.
+		"saturated": s.eng.IngestSaturated(),
 	})
+}
+
+// sketchdCheckpoint is the payload sketchd stores inside the SKCP
+// checkpoint envelope (internal/checkpoint): the wire-expressible
+// predicate definitions plus the engine's own JSON snapshot. Carrying
+// the predicates makes the checkpoint self-contained — Engine.Restore
+// requires every predicate named by a snapshot to be re-registered
+// first, which a bare engine snapshot cannot do across a restart.
+type sketchdCheckpoint struct {
+	Version    int             `json:"version"`
+	Predicates []predicateDef  `json:"predicates,omitempty"`
+	Engine     json.RawMessage `json:"engine"`
+}
+
+const sketchdCheckpointVersion = 1
+
+// writeCheckpoint produces the full server checkpoint payload. It is
+// handed to checkpoint.Manager.Save, which wraps it in the SKCP
+// envelope and rotates it onto disk atomically.
+func (s *server) writeCheckpoint(w io.Writer) error {
+	var engBuf bytes.Buffer
+	if err := s.snapshot(&engBuf); err != nil {
+		return err
+	}
+	s.predMu.Lock()
+	preds := append([]predicateDef(nil), s.preds...)
+	s.predMu.Unlock()
+	return json.NewEncoder(w).Encode(&sketchdCheckpoint{
+		Version:    sketchdCheckpointVersion,
+		Predicates: preds,
+		Engine:     engBuf.Bytes(),
+	})
+}
+
+// readCheckpoint restores a checkpoint payload into the (empty) engine:
+// predicates first, then the engine snapshot.
+func (s *server) readCheckpoint(r io.Reader) error {
+	var cp sketchdCheckpoint
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&cp); err != nil {
+		return fmt.Errorf("decode checkpoint: %w", err)
+	}
+	if cp.Version != sketchdCheckpointVersion {
+		return fmt.Errorf("unsupported sketchd checkpoint version %d", cp.Version)
+	}
+	for _, def := range cp.Predicates {
+		if err := s.registerRangePredicate(def); err != nil {
+			return err
+		}
+	}
+	return s.eng.Restore(bytes.NewReader(cp.Engine))
 }

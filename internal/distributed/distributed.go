@@ -8,6 +8,7 @@
 package distributed
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -24,7 +25,16 @@ type Ingestor struct {
 	chans  []chan stream.Update
 	wg     sync.WaitGroup
 	next   atomic.Uint64
-	closed bool
+
+	// Lifecycle: closeOnce makes Close exactly-once (concurrent Close
+	// calls block until the first finishes, so none returns before the
+	// shards are drained); closing flips at the start of Close and gates
+	// Update's misuse panic; closed flips after the drain and gates
+	// Merged. Both are atomics so Close/Merged and Close/Close from
+	// different goroutines are race-free.
+	closeOnce sync.Once
+	closing   atomic.Bool
+	closed    atomic.Bool
 }
 
 // NewIngestor starts `workers` shard goroutines for sketches with the
@@ -56,31 +66,46 @@ func NewIngestor(workers int, cfg core.Config) (*Ingestor, error) {
 	return in, nil
 }
 
+// ErrUpdateAfterClose is the panic value of Update on a closed
+// Ingestor, so the failure names the misuse instead of surfacing as a
+// raw "send on closed channel" from deep inside the package.
+var ErrUpdateAfterClose = errors.New("distributed: Update on a closed Ingestor")
+
 // Update routes one element to a shard (round-robin). It implements
-// stream.Sink and is safe for concurrent use. Calling Update after Close
-// panics, like sending on a closed channel does.
+// stream.Sink and is safe for concurrent use with other Update calls.
+// Calling Update after (or concurrently with) Close is a misuse and
+// panics with ErrUpdateAfterClose; callers must sequence their last
+// Update before Close. The guard is best-effort under a concurrent
+// Close — an unlucky interleaving can still surface as a send on a
+// closed channel — but a sequenced Update-after-Close always gets the
+// named panic.
 func (in *Ingestor) Update(value uint64, weight int64) {
+	if in.closing.Load() {
+		panic(ErrUpdateAfterClose)
+	}
 	i := in.next.Add(1) % uint64(len(in.chans))
 	in.chans[i] <- stream.Update{Value: value, Weight: weight}
 }
 
 // Close stops the workers and waits for every queued update to be
-// folded. It is idempotent.
+// folded. It is idempotent and safe to call from several goroutines:
+// every call returns only after the drain is complete.
 func (in *Ingestor) Close() {
-	if in.closed {
-		return
-	}
-	in.closed = true
-	for _, ch := range in.chans {
-		close(ch)
-	}
-	in.wg.Wait()
+	in.closeOnce.Do(func() {
+		in.closing.Store(true)
+		for _, ch := range in.chans {
+			close(ch)
+		}
+		in.wg.Wait()
+		in.closed.Store(true)
+	})
 }
 
 // Merged combines the shard sketches into one synopsis. The ingestor
-// must be Closed first so no updates are in flight.
+// must be Closed first so no updates are in flight; a Merged racing a
+// Close cleanly errors until the drain completes.
 func (in *Ingestor) Merged() (*core.HashSketch, error) {
-	if !in.closed {
+	if !in.closed.Load() {
 		return nil, fmt.Errorf("distributed: Close the ingestor before merging")
 	}
 	return Merge(in.shards...)

@@ -1,0 +1,166 @@
+package distributed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"skimsketch/internal/core"
+)
+
+// Backoff is a jittered-exponential retry policy for shipping sketches
+// between sites. Remote-site merge (the SF-sketch-style deployment in
+// the package comment) rides on flaky links: a shard sketch that fails
+// to reach the merger is simply retried — sketches are idempotent state,
+// not deltas, so re-sending the same blob is always safe.
+//
+// The zero value is usable: 100ms base delay, doubling, capped at 5s,
+// half of every delay jittered, retrying until the context is done.
+type Backoff struct {
+	// Base is the delay before the first retry. <= 0 defaults to 100ms.
+	Base time.Duration
+	// Max caps the (pre-jitter) delay. <= 0 defaults to 5s.
+	Max time.Duration
+	// Factor multiplies the delay after each failure. < 1 defaults to 2.
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized: the
+	// actual sleep is delay·(1-Jitter) + delay·Jitter·U[0,1). Outside
+	// [0,1] it defaults to 0.5. Jitter decorrelates retry storms from
+	// many sites hitting one merger.
+	Jitter float64
+	// Attempts bounds the total number of tries. <= 0 means unbounded —
+	// retry until the context is canceled.
+	Attempts int
+	// Rand supplies the jitter randomness; nil uses the (thread-safe)
+	// global math/rand source. Tests inject a seeded source. A non-nil
+	// *rand.Rand is not goroutine-safe, so share one Backoff across
+	// goroutines only when Rand is nil.
+	Rand *rand.Rand
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base <= 0 {
+		return 100 * time.Millisecond
+	}
+	return b.Base
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max <= 0 {
+		return 5 * time.Second
+	}
+	return b.Max
+}
+
+func (b Backoff) factor() float64 {
+	if b.Factor < 1 {
+		return 2
+	}
+	return b.Factor
+}
+
+func (b Backoff) jitter() float64 {
+	if b.Jitter < 0 || b.Jitter > 1 {
+		return 0.5
+	}
+	return b.Jitter
+}
+
+func (b Backoff) float64() float64 {
+	if b.Rand != nil {
+		return b.Rand.Float64()
+	}
+	return rand.Float64()
+}
+
+// Delay returns the sleep before retry number attempt (0-based): the
+// exponentially grown, capped, jittered delay. Exposed so tests can pin
+// the bounds.
+func (b Backoff) Delay(attempt int) time.Duration {
+	d := float64(b.base())
+	f := b.factor()
+	for i := 0; i < attempt; i++ {
+		d *= f
+		if d >= float64(b.max()) {
+			break
+		}
+	}
+	if m := float64(b.max()); d > m {
+		d = m
+	}
+	j := b.jitter()
+	d = d*(1-j) + d*j*b.float64()
+	return time.Duration(d)
+}
+
+// Retry runs f until it succeeds, the attempt budget is spent, or ctx is
+// done, sleeping the policy's jittered-exponential delay between tries.
+// f receives ctx and should abort promptly when it is canceled. The
+// returned error is nil on success; on a canceled context it wraps both
+// the context error and f's last error (either matches errors.Is).
+func (b Backoff) Retry(ctx context.Context, f func(context.Context) error) error {
+	if f == nil {
+		return errors.New("distributed: Retry requires a function")
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return retryErr(attempt, err, last)
+		}
+		if last = f(ctx); last == nil {
+			return nil
+		}
+		if b.Attempts > 0 && attempt+1 >= b.Attempts {
+			return fmt.Errorf("distributed: giving up after %d attempts: %w", attempt+1, last)
+		}
+		t := time.NewTimer(b.Delay(attempt))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return retryErr(attempt+1, ctx.Err(), last)
+		case <-t.C:
+		}
+	}
+}
+
+// retryErr reports a context-terminated retry, preserving the last
+// attempt error (if any) for errors.Is/As.
+func retryErr(attempts int, ctxErr, last error) error {
+	if last == nil {
+		return fmt.Errorf("distributed: retry canceled before first attempt: %w", ctxErr)
+	}
+	return fmt.Errorf("distributed: retry canceled after %d attempts: %w (last error: %w)", attempts, ctxErr, last)
+}
+
+// ShipSketch marshals one sketch and delivers the blob via send under
+// the retry policy. send is typically an HTTP POST to a remote merger;
+// it must treat re-delivery as idempotent (it is: the blob is absolute
+// sketch state, and the merger overwrites the site's slot).
+func ShipSketch(ctx context.Context, b Backoff, sk *core.HashSketch, send func(context.Context, []byte) error) error {
+	if sk == nil {
+		return errors.New("distributed: nothing to ship")
+	}
+	if send == nil {
+		return errors.New("distributed: ShipSketch requires a send function")
+	}
+	blob, err := sk.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("distributed: marshal for shipping: %w", err)
+	}
+	return b.Retry(ctx, func(ctx context.Context) error {
+		return send(ctx, blob)
+	})
+}
+
+// ShipMerged merges a closed Ingestor's shard sketches and ships the
+// result — the whole remote-site contribution in one blob. The ingestor
+// must be Closed first.
+func ShipMerged(ctx context.Context, b Backoff, in *Ingestor, send func(context.Context, []byte) error) error {
+	merged, err := in.Merged()
+	if err != nil {
+		return err
+	}
+	return ShipSketch(ctx, b, merged, send)
+}

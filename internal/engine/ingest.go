@@ -301,9 +301,38 @@ func (e *Engine) routeLocked(streamName string, shards int) [][]*synEntry {
 	return r
 }
 
+// IngestSaturated reports whether the ingestion pipeline is running and
+// at least one shard queue is full. It is an admission-control probe for
+// load shedding: a server that checks it before enqueueing can return
+// 429 instead of blocking on a full queue. The answer is advisory — a
+// racing producer can fill (or a worker drain) a queue immediately after
+// the probe — so an admitted batch may still block briefly; what the
+// probe guarantees is that a saturated pipeline is detected without
+// touching the queues.
+func (e *Engine) IngestSaturated() bool {
+	e.mu.Lock()
+	ing := e.ing
+	e.mu.Unlock()
+	if ing == nil {
+		return false
+	}
+	for _, ch := range ing.chans {
+		if len(ch) == cap(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// NoteRejected records n stream elements refused for backpressure (the
+// caller chose load shedding over blocking). Surfaced via IngestStats.
+func (e *Engine) NoteRejected(n int64) {
+	e.metrics.Rejected.Add(n)
+}
+
 // IngestStats returns the ingestion pipeline counters (updates enqueued
-// and applied, batches, mean batch fill, queue depth, flushes, and the
-// lifetime updates/sec rate).
+// and applied, batches, mean batch fill, queue depth, flushes,
+// backpressure rejections, and the lifetime updates/sec rate).
 func (e *Engine) IngestStats() monitor.IngestSnapshot {
 	return e.metrics.Snapshot()
 }

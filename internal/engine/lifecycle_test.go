@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"skimsketch/internal/stream"
+)
+
+// Regression tests for the shutdown path: sketchd's graceful exit calls
+// Flush and StopIngest unconditionally, so both must be safe no-ops on
+// an engine whose pipeline was never started, already stopped, or is
+// being stopped concurrently.
+
+func TestStopFlushNeverStartedPipeline(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 8); err != nil {
+		t.Fatal(err)
+	}
+	// None of these may panic or block on an engine started without a
+	// pipeline (sketchd without -ingest.workers).
+	e.StopIngest()
+	e.Flush()
+	e.StopIngest()
+	if e.IngestSaturated() {
+		t.Fatal("a pipeline that does not exist cannot be saturated")
+	}
+	if err := e.IngestBatch("F", []stream.Update{stream.Insert(1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushAfterStopIsNoOp(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartIngest(IngestConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestBatch("F", []stream.Update{stream.Insert(1)}); err != nil {
+		t.Fatal(err)
+	}
+	e.StopIngest()
+	flushes := e.IngestStats().Flushes
+	e.Flush() // must not panic, block, or count as a drain barrier
+	e.Flush()
+	if got := e.IngestStats().Flushes; got != flushes {
+		t.Fatalf("Flush after stop counted barriers: %d -> %d", flushes, got)
+	}
+}
+
+// TestConcurrentStopStop races StopIngest with itself and with Flush;
+// exactly one stop wins and nothing panics. Run with -race.
+func TestConcurrentStopStop(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 64); err != nil {
+		t.Fatal(err)
+	}
+	err := e.RegisterQuery(QuerySpec{Name: "q", Agg: Count, Left: Side{Stream: "F"}, Right: Side{Stream: "F"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartIngest(IngestConfig{Workers: 2, BatchSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i += 10 {
+		batch := make([]stream.Update, 10)
+		for j := range batch {
+			batch[j] = stream.Insert(uint64((i + j) % 64))
+		}
+		if err := e.IngestBatch("F", batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.StopIngest()
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Flush()
+		}()
+	}
+	wg.Wait()
+	if got := e.IngestStats().UpdatesApplied; got != n {
+		t.Fatalf("applied %d updates, want %d (stop must drain)", got, n)
+	}
+}
+
+// TestRestartIngestAfterStop: the pipeline can be started again after a
+// stop, and the synopses carry over.
+func TestRestartIngestAfterStop(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 8); err != nil {
+		t.Fatal(err)
+	}
+	err := e.RegisterQuery(QuerySpec{Name: "q", Agg: Count, Left: Side{Stream: "F"}, Right: Side{Stream: "F"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartIngest(IngestConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestBatch("F", []stream.Update{stream.Insert(3)}); err != nil {
+		t.Fatal(err)
+	}
+	e.StopIngest()
+	if err := e.StartIngest(IngestConfig{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestBatch("F", []stream.Update{stream.Insert(3), stream.Insert(3)}); err != nil {
+		t.Fatal(err)
+	}
+	e.StopIngest()
+	a, err := e.Answer("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != 9 { // f_3 = 3 across both pipeline generations
+		t.Fatalf("estimate %d, want 9", a.Estimate)
+	}
+}
+
+// TestIngestSaturated drives the pipeline into saturation with a gated
+// predicate: the worker blocks mid-apply, a second batch fills the
+// depth-1 queue, and the probe must report it. Releasing the gate drains
+// everything and the probe clears.
+func TestIngestSaturated(t *testing.T) {
+	e := mustEngine(t)
+	if err := e.DeclareStream("F", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeclareStream("G", 8); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 16)
+	gate := make(chan struct{})
+	err := e.RegisterPredicate("gate", func(uint64, int64) bool {
+		entered <- struct{}{}
+		<-gate
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.RegisterQuery(QuerySpec{
+		Name: "q", Agg: Count,
+		Left:  Side{Stream: "F", Predicate: "gate"},
+		Right: Side{Stream: "G"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartIngest(IngestConfig{Workers: 1, BatchSize: 1, QueueDepth: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if e.IngestSaturated() {
+		t.Fatal("fresh pipeline reported saturated")
+	}
+	// First update: dequeued by the worker, which parks in the predicate.
+	if err := e.IngestBatch("F", []stream.Update{stream.Insert(1)}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the worker is now parked, its queue empty
+	// Second update: sits in the depth-1 queue — the pipeline is full.
+	if err := e.IngestBatch("F", []stream.Update{stream.Insert(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IngestSaturated() {
+		t.Fatal("full shard queue not reported as saturated")
+	}
+	e.NoteRejected(1)
+	if got := e.IngestStats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	close(gate)
+	e.Flush()
+	if e.IngestSaturated() {
+		t.Fatal("drained pipeline still reported saturated")
+	}
+	e.StopIngest()
+	if got := e.IngestStats().UpdatesApplied; got != 2 {
+		t.Fatalf("applied %d updates, want 2", got)
+	}
+}

@@ -25,6 +25,10 @@ type IngestMetrics struct {
 	// Flushes counts pipeline drain barriers (explicit Flush calls plus
 	// the implicit quiesce before every query/snapshot/stats read).
 	Flushes atomic.Int64
+	// Rejected counts ingest admissions (single updates or whole batch
+	// requests) refused for backpressure — full ingest queues — instead
+	// of being enqueued: the 429 path in sketchd.
+	Rejected atomic.Int64
 }
 
 // NewIngestMetrics returns a zeroed metric set with the rate clock
@@ -41,6 +45,7 @@ type IngestSnapshot struct {
 	Batches         int64   `json:"batches"`
 	QueueDepth      int64   `json:"queueDepth"`
 	Flushes         int64   `json:"flushes"`
+	Rejected        int64   `json:"rejected"`
 	AvgBatchFill    float64 `json:"avgBatchFill"`
 	UpdatesPerSec   float64 `json:"updatesPerSec"`
 	ElapsedSeconds  float64 `json:"elapsedSeconds"`
@@ -55,6 +60,7 @@ func (m *IngestMetrics) Snapshot() IngestSnapshot {
 		Batches:         m.Batches.Load(),
 		QueueDepth:      m.QueueDepth.Load(),
 		Flushes:         m.Flushes.Load(),
+		Rejected:        m.Rejected.Load(),
 	}
 	if s.Batches > 0 {
 		s.AvgBatchFill = float64(s.UpdatesApplied) / float64(s.Batches)
