@@ -1,0 +1,280 @@
+// Command loadgen is the end-to-end load harness for sketchd: an
+// open-loop generator (token-bucket arrivals that never slow down when
+// the server does), concurrent ingest workers honoring the server's
+// 429/Retry-After backpressure contract, and an optional mixed query
+// stream against /answer. Latency percentiles come from merging the
+// per-worker log-bucketed histograms — never from averaging per-worker
+// percentiles — and each run emits BENCH_ingest.json / BENCH_query.json
+// (schema in docs/FORMATS.md) so the repo's speed trajectory is
+// comparable across commits.
+//
+//	loadgen -target http://127.0.0.1:8080 -declare -duration 10s -rate 50000
+//
+// With -autotune the harness searches its own knobs (-ingest.workers,
+// -ingest.batch, -ingest.queue, -query.workers) by coordinate descent
+// over short live trials (-autotune.trial each), writes the best
+// configuration and the full measured curve to BENCH_autotune.json, and
+// then runs the final measured pass with the winning knobs. The first
+// trial is always the flag configuration and the incumbent only ever
+// improves, so the tuned result is never slower than the defaults.
+//
+// With -validate FILE[,FILE...] loadgen instead checks that each file
+// is a schema-valid BENCH report with nonzero throughput — the CI
+// bench-smoke gate.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"skimsketch/internal/loadtest"
+)
+
+// options collects every flag so run is testable without a flag set.
+type options struct {
+	target   string
+	streams  string
+	declare  bool
+	domain   uint64
+	shape    string
+	seed     int64
+	rate     float64
+	burst    int
+	duration time.Duration
+	updates  int64
+	workers  int
+	batch    int
+	queue    int
+	qworkers int
+	qname    string
+	outDir   string
+
+	autotune       bool
+	autotuneTrial  time.Duration
+	autotuneSweeps int
+
+	validate string
+	waitFor  time.Duration
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.StringVar(&o.target, "target", "http://127.0.0.1:8080", "sketchd base URL")
+	fs.StringVar(&o.streams, "streams", "F,G", "comma-separated stream names to drive round-robin")
+	fs.BoolVar(&o.declare, "declare", false, "declare the streams (and register the query) before the run; existing declarations are tolerated")
+	fs.Uint64Var(&o.domain, "domain", 1<<16, "stream domain [0, domain)")
+	fs.StringVar(&o.shape, "shape", "zipf:1.0", `workload shape: "uniform", "zipf", "zipf:Z", optional "+shift:S"`)
+	fs.Int64Var(&o.seed, "seed", 42, "workload generator seed (runs are reproducible per seed)")
+	fs.Float64Var(&o.rate, "rate", 0, "target arrival rate in updates/sec (0 = unpaced, as fast as the queue drains)")
+	fs.IntVar(&o.burst, "burst", 0, "token-bucket burst size in updates (0 = one batch)")
+	fs.DurationVar(&o.duration, "duration", 10*time.Second, "run length (ignored when -updates > 0)")
+	fs.Int64Var(&o.updates, "updates", 0, "stop after exactly this many generated updates instead of -duration")
+	fs.IntVar(&o.workers, "ingest.workers", 4, "concurrent ingest sender goroutines")
+	fs.IntVar(&o.batch, "ingest.batch", 256, "updates per /update request")
+	fs.IntVar(&o.queue, "ingest.queue", 64, "client-side queue depth in batches (full queue = open-loop shed)")
+	fs.IntVar(&o.qworkers, "query.workers", 0, "concurrent /answer goroutines (0 = no query stream)")
+	fs.StringVar(&o.qname, "query.name", "q", "query to answer (and to register under -declare)")
+	fs.StringVar(&o.outDir, "out", ".", "directory for BENCH_*.json reports")
+	fs.BoolVar(&o.autotune, "autotune", false, "search -ingest.*/-query.workers for max throughput before the measured run")
+	fs.DurationVar(&o.autotuneTrial, "autotune.trial", 2*time.Second, "duration of each autotune trial")
+	fs.IntVar(&o.autotuneSweeps, "autotune.sweeps", 4, "max coordinate-descent sweeps")
+	fs.StringVar(&o.validate, "validate", "", "comma-separated BENCH_*.json files to validate instead of running (CI gate)")
+	fs.DurationVar(&o.waitFor, "wait", 10*time.Second, "how long to wait for the target's /healthz before giving up")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts, os.Stdout); err != nil {
+		log.Fatal("loadgen: ", err)
+	}
+}
+
+// config assembles the harness configuration from the flags.
+func (o options) config() loadtest.Config {
+	cfg := loadtest.Config{
+		BaseURL:      strings.TrimRight(o.target, "/"),
+		Shape:        o.shape,
+		Domain:       o.domain,
+		Seed:         o.seed,
+		Rate:         o.rate,
+		Burst:        o.burst,
+		Workers:      o.workers,
+		Batch:        o.batch,
+		QueueDepth:   o.queue,
+		Duration:     o.duration,
+		TotalUpdates: o.updates,
+		QueryWorkers: o.qworkers,
+	}
+	for _, s := range strings.Split(o.streams, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			cfg.Streams = append(cfg.Streams, s)
+		}
+	}
+	if o.qworkers > 0 {
+		cfg.QueryName = o.qname
+	}
+	if o.updates > 0 {
+		cfg.Duration = 0
+	}
+	return cfg
+}
+
+// run executes one harness invocation: validate mode, or wait-ready →
+// declare → (autotune →) measured run → BENCH reports.
+func run(ctx context.Context, opts options, out io.Writer) error {
+	if opts.validate != "" {
+		return validateReports(opts.validate, out)
+	}
+	cfg := opts.config()
+	client := &loadtest.Client{BaseURL: cfg.BaseURL}
+
+	waitCtx, cancel := context.WithTimeout(ctx, opts.waitFor)
+	err := client.WaitReady(waitCtx)
+	cancel()
+	if err != nil {
+		return err
+	}
+
+	if opts.declare {
+		if err := declareWorkload(ctx, client, cfg, out); err != nil {
+			return err
+		}
+	}
+
+	if opts.autotune {
+		base := cfg
+		base.Duration = opts.autotuneTrial
+		base.TotalUpdates = 0
+		fmt.Fprintf(out, "loadgen autotuning (%s trials, <= %d sweeps)\n", opts.autotuneTrial, opts.autotuneSweeps)
+		at, err := loadtest.Autotune(ctx, loadtest.AutotuneOptions{
+			Base:      base,
+			MaxSweeps: opts.autotuneSweeps,
+		}, nil, time.Now())
+		if err != nil {
+			return err
+		}
+		atPath := filepath.Join(opts.outDir, "BENCH_autotune.json")
+		if err := loadtest.WriteAutotuneResult(atPath, at); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loadgen autotune best: workers=%d batch=%d queue=%d queryWorkers=%d (%.0f updates/s over %d trials) -> %s\n",
+			at.Best.Workers, at.Best.Batch, at.Best.QueueDepth, at.Best.QueryWorkers,
+			at.Best.Throughput, len(at.Trials), atPath)
+		cfg = at.BestConfig(cfg)
+	}
+
+	res, err := loadtest.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	ingest := loadtest.IngestReport(res, now)
+	ingestPath := filepath.Join(opts.outDir, "BENCH_ingest.json")
+	if err := loadtest.WriteReport(ingestPath, ingest); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "loadgen ingest: %.0f updates/s (%d updates, %d requests, %d x 429, %d retries, %d shed, %d errors) p50=%s p99=%s -> %s\n",
+		ingest.ThroughputPerSec, ingest.Updates, ingest.Requests, ingest.Rejected429,
+		ingest.Retries, ingest.Shed, ingest.Errors,
+		time.Duration(ingest.Latency.P50Ns), time.Duration(ingest.Latency.P99Ns), ingestPath)
+	if cfg.QueryWorkers > 0 {
+		query := loadtest.QueryReport(res, now)
+		queryPath := filepath.Join(opts.outDir, "BENCH_query.json")
+		if err := loadtest.WriteReport(queryPath, query); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loadgen query:  %.0f answers/s (%d requests, %d errors) p50=%s p99=%s -> %s\n",
+			query.ThroughputPerSec, query.Requests, query.Errors,
+			time.Duration(query.Latency.P50Ns), time.Duration(query.Latency.P99Ns), queryPath)
+	}
+	if res.Ingest.Errors > 0 {
+		return fmt.Errorf("run finished with %d permanent ingest errors", res.Ingest.Errors)
+	}
+	return nil
+}
+
+// declareWorkload declares the run's streams and registers the COUNT
+// query for the mixed stream, tolerating declarations that already
+// exist so repeated runs against a warm server work.
+func declareWorkload(ctx context.Context, client *loadtest.Client, cfg loadtest.Config, out io.Writer) error {
+	for _, s := range cfg.Streams {
+		err := client.DeclareStream(ctx, s, cfg.Domain)
+		switch {
+		case err == nil:
+			fmt.Fprintf(out, "loadgen declared stream %s (domain %d)\n", s, cfg.Domain)
+		case strings.Contains(err.Error(), "already declared"):
+		default:
+			return err
+		}
+	}
+	if cfg.QueryName == "" {
+		return nil
+	}
+	if len(cfg.Streams) < 2 {
+		return fmt.Errorf("query stream needs two streams to join, have %d", len(cfg.Streams))
+	}
+	err := client.RegisterCountQuery(ctx, cfg.QueryName, cfg.Streams[0], cfg.Streams[1])
+	switch {
+	case err == nil:
+		fmt.Fprintf(out, "loadgen registered query %s = COUNT(%s join %s)\n", cfg.QueryName, cfg.Streams[0], cfg.Streams[1])
+	case strings.Contains(err.Error(), "already registered"):
+	default:
+		return err
+	}
+	return nil
+}
+
+// validateReports is the bench-smoke gate: every named file must be a
+// schema-valid BENCH report with nonzero traffic and throughput.
+func validateReports(list string, out io.Writer) error {
+	var checked int
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		rep, err := loadtest.ReadReport(path)
+		if err != nil {
+			return err
+		}
+		if err := rep.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if rep.Requests == 0 || rep.ThroughputPerSec <= 0 {
+			return fmt.Errorf("%s: no traffic recorded (requests=%d, throughput=%v)", path, rep.Requests, rep.ThroughputPerSec)
+		}
+		if rep.Kind == "ingest" && rep.Updates == 0 {
+			return fmt.Errorf("%s: ingest report with zero updates", path)
+		}
+		fmt.Fprintf(out, "loadgen validate %s: ok (%s, %.0f/s, p99=%s)\n",
+			path, rep.Kind, rep.ThroughputPerSec, time.Duration(rep.Latency.P99Ns))
+		checked++
+	}
+	if checked == 0 {
+		return errors.New("-validate: no files named")
+	}
+	return nil
+}

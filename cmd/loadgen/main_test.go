@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"skimsketch/internal/loadtest"
+)
+
+// fakeTarget is a minimal sketchd stand-in for exercising the binary's
+// run path without booting an engine.
+type fakeTarget struct {
+	mu       sync.Mutex
+	requests int64
+	applied  int64
+	declared map[string]bool
+	queries  map[string]bool
+}
+
+func newFakeTarget() *fakeTarget {
+	return &fakeTarget{declared: map[string]bool{}, queries: map[string]bool{}}
+}
+
+func (f *fakeTarget) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("/streams", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ Name string }
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.declared[req.Name] {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]string{"error": "engine: stream already declared"})
+			return
+		}
+		f.declared[req.Name] = true
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ Name string }
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.queries[req.Name] {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]string{"error": "engine: query already registered"})
+			return
+		}
+		f.queries[req.Name] = true
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		var batch []loadtest.Update
+		if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.requests++
+		f.applied += int64(len(batch))
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]int{"applied": len(batch)})
+	})
+	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/answer", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"estimate": 0})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{
+			"ingest": map[string]any{
+				"updatesEnqueued": f.applied, "updatesApplied": f.applied, "rejected": 0,
+			},
+			"updateLatency": map[string]any{"count": f.requests, "meanNs": 1000.0, "maxNs": 2000, "p99Ns": 1500},
+			"uptimeSeconds": 1.0,
+		})
+	})
+	return mux
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.workers != 4 || o.batch != 256 || o.queue != 64 {
+		t.Fatalf("ingest defaults changed: %+v", o)
+	}
+	if o.duration != 10*time.Second || o.shape != "zipf:1.0" {
+		t.Fatalf("run defaults changed: %+v", o)
+	}
+	cfg := o.config()
+	if len(cfg.Streams) != 2 || cfg.Streams[0] != "F" || cfg.Streams[1] != "G" {
+		t.Fatalf("default streams parsed as %v", cfg.Streams)
+	}
+	if cfg.QueryName != "" {
+		t.Fatal("query name set without query workers")
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunEndToEnd drives the binary's run path against a fake target:
+// declare (twice — the second run must tolerate existing declarations),
+// push a fixed burst, and check the emitted BENCH files pass the
+// binary's own -validate gate.
+func TestRunEndToEnd(t *testing.T) {
+	fake := newFakeTarget()
+	ts := httptest.NewServer(fake.handler())
+	defer ts.Close()
+	dir := t.TempDir()
+
+	args := []string{
+		"-target", ts.URL, "-declare",
+		"-updates", "2000", "-seed", "7", "-domain", "1024",
+		"-ingest.workers", "2", "-ingest.batch", "50", "-ingest.queue", "32",
+		"-query.workers", "1",
+		"-out", dir,
+	}
+	for i := 0; i < 2; i++ {
+		opts, err := parseFlags(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := run(context.Background(), opts, &buf); err != nil {
+			t.Fatalf("run %d: %v\n%s", i, err, buf.String())
+		}
+	}
+
+	ingestPath := filepath.Join(dir, "BENCH_ingest.json")
+	queryPath := filepath.Join(dir, "BENCH_query.json")
+	for _, p := range []string{ingestPath, queryPath} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("missing report: %v", err)
+		}
+	}
+	opts, err := parseFlags([]string{"-validate", ingestPath + "," + queryPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run(context.Background(), opts, &buf); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "ok (ingest") || !strings.Contains(buf.String(), "ok (query") {
+		t.Fatalf("validate output missing per-file lines:\n%s", buf.String())
+	}
+}
+
+// TestRunAutotuneEmitsCurve: -autotune against the fake target writes a
+// schema-tagged BENCH_autotune.json whose first trial is the flag
+// configuration.
+func TestRunAutotuneEmitsCurve(t *testing.T) {
+	fake := newFakeTarget()
+	ts := httptest.NewServer(fake.handler())
+	defer ts.Close()
+	dir := t.TempDir()
+	opts, err := parseFlags([]string{
+		"-target", ts.URL, "-declare",
+		"-updates", "500", "-domain", "256",
+		"-ingest.workers", "2", "-ingest.batch", "25", "-ingest.queue", "8",
+		"-autotune", "-autotune.trial", "50ms", "-autotune.sweeps", "1",
+		"-out", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run(context.Background(), opts, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_autotune.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at loadtest.AutotuneResult
+	if err := json.Unmarshal(data, &at); err != nil {
+		t.Fatal(err)
+	}
+	if at.Schema != loadtest.AutotuneSchema {
+		t.Fatalf("schema %q", at.Schema)
+	}
+	if len(at.Trials) == 0 || at.Trials[0].Workers != 2 || at.Trials[0].Batch != 25 {
+		t.Fatalf("first trial is not the flag config: %+v", at.Trials)
+	}
+	if at.Best.Throughput < at.Trials[0].Throughput {
+		t.Fatalf("best %v slower than base %v", at.Best.Throughput, at.Trials[0].Throughput)
+	}
+	// The measured run after tuning still emitted the ingest report.
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_ingest.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateRejects: the gate fails on garbage, on schema-invalid
+// reports, and on valid-looking reports with zero traffic.
+func TestValidateRejects(t *testing.T) {
+	dir := t.TempDir()
+
+	garbage := filepath.Join(dir, "garbage.json")
+	os.WriteFile(garbage, []byte("not json"), 0o644)
+	if err := validateReports(garbage, &strings.Builder{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"schema":"skimsketch-bench/1","kind":"ingest"}`), 0o644)
+	if err := validateReports(empty, &strings.Builder{}); err == nil {
+		t.Fatal("schema-invalid report accepted")
+	}
+
+	if err := validateReports("", &strings.Builder{}); err == nil {
+		t.Fatal("empty file list accepted")
+	}
+}

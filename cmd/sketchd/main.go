@@ -42,6 +42,7 @@
 //	                    or a JSON array of such objects (batch)
 //	GET    /answer?query=q
 //	POST   /flush       (drain the ingest pipeline)
+//	GET    /healthz     (readiness: 200 serving, 503 draining)
 //	GET    /stats
 //	GET    /snapshot    (checkpoint: engine state as JSON)
 //	POST   /restore     (load a snapshot into an empty engine)
@@ -207,6 +208,9 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(out, "sketchd shutting down")
+	// Flip readiness first: /healthz now answers 503, steering load
+	// balancers and harnesses away while in-flight requests drain.
+	srv.draining.Store(true)
 
 	// 1. Stop accepting connections and drain in-flight requests.
 	shCtx, cancel := context.WithTimeout(context.Background(), opts.shutdownTimeout)

@@ -10,8 +10,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"skimsketch/internal/engine"
+	"skimsketch/internal/stats"
 	"skimsketch/internal/stream"
 )
 
@@ -33,10 +36,25 @@ type server struct {
 	// checkpoint and are re-registered before restore at boot.
 	predMu sync.Mutex
 	preds  []predicateDef
+
+	// start anchors the monotonic clock every latency and uptime figure
+	// in /stats derives from — wall-clock jumps (NTP steps, suspends)
+	// cannot corrupt them, which is what lets an external harness
+	// reconcile its own measurements against the server's.
+	start time.Time
+	// draining flips once shutdown begins; /healthz then reports 503 so
+	// load balancers and harnesses stop sending new work during drain.
+	draining atomic.Bool
+	// latMu guards updateLat, the server-side histogram of /update
+	// handling latency (monotonic, admission through response encode,
+	// 429 rejections included). One histogram per process; the load
+	// harness merges it with its own client-side view.
+	latMu     sync.Mutex
+	updateLat stats.Histogram
 }
 
 func newServer(eng *engine.Engine) *server {
-	s := &server{eng: eng, mux: http.NewServeMux(), snapshot: eng.Snapshot}
+	s := &server{eng: eng, mux: http.NewServeMux(), snapshot: eng.Snapshot, start: time.Now()}
 	s.mux.HandleFunc("/streams", s.handleStreams)
 	s.mux.HandleFunc("/predicates", s.handlePredicates)
 	s.mux.HandleFunc("/queries", s.handleQueries)
@@ -47,7 +65,52 @@ func newServer(eng *engine.Engine) *server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/restore", s.handleRestore)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// handleHealthz is the readiness probe: 200 while the server is taking
+// traffic, 503 once shutdown drain begins. A sketchd that can execute
+// this handler has already restored its checkpoint and started its
+// ingest pipeline (run() opens the listener last), so 200 really does
+// mean "ready", not merely "process exists".
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// recordUpdateLatency folds one /update handling duration into the
+// server-side histogram.
+func (s *server) recordUpdateLatency(d time.Duration) {
+	s.latMu.Lock()
+	s.updateLat.Record(int64(d))
+	s.latMu.Unlock()
+}
+
+// updateLatencySnapshot summarizes the server-side /update latency
+// histogram for /stats. All durations are nanoseconds from the
+// monotonic clock.
+func (s *server) updateLatencySnapshot() map[string]any {
+	s.latMu.Lock()
+	h := s.updateLat // histograms are value types; this is a deep copy
+	s.latMu.Unlock()
+	return map[string]any{
+		"count":  h.Count(),
+		"meanNs": h.Mean(),
+		"minNs":  h.Min(),
+		"maxNs":  h.Max(),
+		"p50Ns":  stats.Quantile(&h, 0.50),
+		"p95Ns":  stats.Quantile(&h, 0.95),
+		"p99Ns":  stats.Quantile(&h, 0.99),
+		"p999Ns": stats.Quantile(&h, 0.999),
+	}
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -242,6 +305,11 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
 	}
+	// Every /update outcome — applied, rejected, malformed — is timed on
+	// the monotonic clock into the server-side latency histogram, so the
+	// request count the harness reconciles against includes 429s.
+	t0 := time.Now()
+	defer func() { s.recordUpdateLatency(time.Since(t0)) }()
 	// Backpressure: when the ingest queues are full, shed load with 429 +
 	// Retry-After instead of blocking the handler (and the client, and
 	// eventually every server connection) on a queue that may stay full.
@@ -415,6 +483,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// saturated mirrors the admission probe behind /update's 429:
 		// true while at least one ingest queue is full.
 		"saturated": s.eng.IngestSaturated(),
+		// updateLatency is the server-side /update handling histogram
+		// and uptimeSeconds the process age, both on the monotonic
+		// clock — the fields cmd/loadgen reconciles its client-side
+		// measurements against (request counts must match exactly;
+		// latencies must bracket from below).
+		"updateLatency": s.updateLatencySnapshot(),
+		"uptimeSeconds": time.Since(s.start).Seconds(),
 	})
 }
 

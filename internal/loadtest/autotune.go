@@ -1,0 +1,192 @@
+package loadtest
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Autotune searches the harness's client-side knobs — ingest workers,
+// batch size, queue depth, and (when a query stream is configured)
+// query workers — for the configuration with the highest measured
+// ingest throughput against a live server, by coordinate descent over
+// short trials: one knob moves at a time (halved or doubled, clamped to
+// its range), a move is kept only when it beats the incumbent by more
+// than Epsilon, and the search stops after a full sweep with no move or
+// MaxSweeps sweeps. The very first trial is the base configuration, and
+// the incumbent only ever improves, so the result is never slower than
+// the defaults it started from — the property the acceptance test pins.
+
+// knobRange clamps one searched dimension.
+type knobRange struct{ min, max int }
+
+var knobRanges = map[string]knobRange{
+	"workers":      {1, 64},
+	"batch":        {1, 8192},
+	"queue":        {1, 1024},
+	"queryWorkers": {1, 32},
+}
+
+// Trial is one measured configuration — a point on the autotune curve.
+type Trial struct {
+	Workers      int     `json:"workers"`
+	Batch        int     `json:"batch"`
+	QueueDepth   int     `json:"queueDepth"`
+	QueryWorkers int     `json:"queryWorkers"`
+	Throughput   float64 `json:"throughputUpdatesPerSec"`
+	P99Ns        int64   `json:"p99Ns"`
+	Errors       int64   `json:"errors"`
+}
+
+// AutotuneResult is the search outcome: the best configuration found
+// and the full measured curve in trial order.
+type AutotuneResult struct {
+	Schema      string  `json:"schema"` // "skimsketch-autotune/1"
+	GeneratedAt string  `json:"generatedAt"`
+	GitSHA      string  `json:"gitSHA,omitempty"`
+	Best        Trial   `json:"best"`
+	Trials      []Trial `json:"trials"`
+}
+
+// AutotuneSchema identifies BENCH_autotune.json documents.
+const AutotuneSchema = "skimsketch-autotune/1"
+
+// AutotuneOptions tunes the search itself.
+type AutotuneOptions struct {
+	// Base is the starting configuration; its Duration/TotalUpdates
+	// bound each trial (keep trials short — a second or two).
+	Base Config
+	// MaxSweeps bounds the number of coordinate sweeps (<= 0: 4).
+	MaxSweeps int
+	// Epsilon is the minimum relative improvement to accept a move
+	// (<= 0: 0.03, i.e. 3% — below harness noise there is no signal).
+	Epsilon float64
+}
+
+// TrialFunc runs one trial; production passes Run, tests inject a
+// synthetic surface.
+type TrialFunc func(context.Context, Config) (*Result, error)
+
+// Autotune performs the coordinate-descent search. now stamps the
+// result (injected so callers control the clock).
+func Autotune(ctx context.Context, opts AutotuneOptions, run TrialFunc, now time.Time) (*AutotuneResult, error) {
+	if run == nil {
+		run = Run
+	}
+	base := opts.Base
+	if err := base.applyDefaults(); err != nil {
+		return nil, err
+	}
+	maxSweeps := opts.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = 4
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 0.03
+	}
+
+	res := &AutotuneResult{
+		Schema:      AutotuneSchema,
+		GeneratedAt: now.UTC().Format(time.RFC3339),
+		GitSHA:      GitSHA(),
+	}
+	// seen memoizes measured configurations: coordinate descent revisits
+	// neighbors, and a live trial is the expensive part.
+	type key [4]int
+	seen := map[key]Trial{}
+
+	measure := func(workers, batch, queue, qworkers int) (Trial, error) {
+		k := key{workers, batch, queue, qworkers}
+		if t, ok := seen[k]; ok {
+			return t, nil
+		}
+		cfg := base
+		cfg.Workers, cfg.Batch, cfg.QueueDepth, cfg.QueryWorkers = workers, batch, queue, qworkers
+		r, err := run(ctx, cfg)
+		if err != nil {
+			return Trial{}, fmt.Errorf("loadtest: trial %v: %w", k, err)
+		}
+		t := Trial{
+			Workers: workers, Batch: batch, QueueDepth: queue, QueryWorkers: qworkers,
+			P99Ns:  SummarizeLatency(r.Ingest.Hist).P99Ns,
+			Errors: r.Ingest.Errors,
+		}
+		if r.Elapsed > 0 {
+			t.Throughput = float64(r.Ingest.Updates) / r.Elapsed.Seconds()
+		}
+		seen[k] = t
+		res.Trials = append(res.Trials, t)
+		return t, nil
+	}
+
+	best, err := measure(base.Workers, base.Batch, base.QueueDepth, base.QueryWorkers)
+	if err != nil {
+		return nil, err
+	}
+	res.Best = best
+
+	// dims addresses the incumbent's knobs by index so one sweep loop
+	// serves all of them.
+	type dim struct {
+		name string
+		get  func(Trial) int
+		set  func(*Trial, int)
+	}
+	dims := []dim{
+		{"workers", func(t Trial) int { return t.Workers }, func(t *Trial, v int) { t.Workers = v }},
+		{"batch", func(t Trial) int { return t.Batch }, func(t *Trial, v int) { t.Batch = v }},
+		{"queue", func(t Trial) int { return t.QueueDepth }, func(t *Trial, v int) { t.QueueDepth = v }},
+	}
+	if base.QueryWorkers > 0 {
+		dims = append(dims, dim{"queryWorkers", func(t Trial) int { return t.QueryWorkers }, func(t *Trial, v int) { t.QueryWorkers = v }})
+	}
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		moved := false
+		for _, d := range dims {
+			cur := d.get(res.Best)
+			rng := knobRanges[d.name]
+			for _, cand := range []int{cur / 2, cur * 2} {
+				if cand < rng.min {
+					cand = rng.min
+				}
+				if cand > rng.max {
+					cand = rng.max
+				}
+				if cand == cur {
+					continue
+				}
+				probe := res.Best
+				d.set(&probe, cand)
+				t, err := measure(probe.Workers, probe.Batch, probe.QueueDepth, probe.QueryWorkers)
+				if err != nil {
+					return nil, err
+				}
+				if t.Errors == 0 && t.Throughput > res.Best.Throughput*(1+eps) {
+					res.Best = t
+					moved = true
+					cur = cand
+				}
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return res, nil
+}
+
+// WriteAutotuneResult writes the search outcome as indented JSON.
+func WriteAutotuneResult(path string, r *AutotuneResult) error {
+	return writeJSONFile(path, r)
+}
+
+// BestConfig applies the winning trial's knobs onto cfg.
+func (r *AutotuneResult) BestConfig(cfg Config) Config {
+	cfg.Workers = r.Best.Workers
+	cfg.Batch = r.Best.Batch
+	cfg.QueueDepth = r.Best.QueueDepth
+	cfg.QueryWorkers = r.Best.QueryWorkers
+	return cfg
+}

@@ -1,0 +1,143 @@
+package loadtest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"skimsketch/internal/stats"
+)
+
+// syntheticSurface builds a TrialFunc whose throughput is a known
+// function of the knobs, counting trials as it goes.
+func syntheticSurface(score func(workers, batch, queue int) float64, trials *int) TrialFunc {
+	return func(_ context.Context, cfg Config) (*Result, error) {
+		*trials++
+		tp := score(cfg.Workers, cfg.Batch, cfg.QueueDepth)
+		var h stats.Histogram
+		h.Record(1000)
+		return &Result{
+			Config:  cfg,
+			Elapsed: time.Second,
+			Ingest:  SideResult{Updates: int64(tp), Requests: 1, Hist: &h},
+		}, nil
+	}
+}
+
+func autotuneBase() Config {
+	return Config{
+		BaseURL: "http://fake", Streams: []string{"F"},
+		Workers: 4, Batch: 256, QueueDepth: 64,
+		Duration: time.Second,
+	}
+}
+
+// TestAutotuneClimbsToOptimum: on a unimodal surface peaked away from
+// the defaults, coordinate descent finds a strictly better config.
+func TestAutotuneClimbsToOptimum(t *testing.T) {
+	// Peak at workers=16, batch=1024: throughput decays with distance in
+	// doubling steps from the peak.
+	score := func(w, b, q int) float64 {
+		dist := func(v, peak int) float64 {
+			d := 0.0
+			for v < peak {
+				v *= 2
+				d++
+			}
+			for v > peak {
+				v /= 2
+				d++
+			}
+			return d
+		}
+		return 1e6 / (1 + dist(w, 16) + dist(b, 1024))
+	}
+	var trials int
+	res, err := Autotune(context.Background(), AutotuneOptions{Base: autotuneBase()},
+		syntheticSurface(score, &trials), time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Workers != 16 || res.Best.Batch != 1024 {
+		t.Fatalf("converged to workers=%d batch=%d, want 16/1024 (trials: %+v)",
+			res.Best.Workers, res.Best.Batch, res.Trials)
+	}
+	base := res.Trials[0]
+	if base.Workers != 4 || base.Batch != 256 {
+		t.Fatalf("first trial %+v is not the base config", base)
+	}
+	if res.Best.Throughput <= base.Throughput {
+		t.Fatalf("best %v not better than base %v", res.Best.Throughput, base.Throughput)
+	}
+	if trials != len(res.Trials) {
+		t.Fatalf("curve has %d entries for %d live trials (memo leak)", len(res.Trials), trials)
+	}
+}
+
+// TestAutotuneNeverWorseThanDefaults is the acceptance property: on a
+// surface where every move hurts, the search keeps the base config.
+func TestAutotuneNeverWorseThanDefaults(t *testing.T) {
+	base := autotuneBase()
+	score := func(w, b, q int) float64 {
+		if w == base.Workers && b == base.Batch && q == base.QueueDepth {
+			return 1e6
+		}
+		return 1e3
+	}
+	var trials int
+	res, err := Autotune(context.Background(), AutotuneOptions{Base: base},
+		syntheticSurface(score, &trials), time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Workers != base.Workers || res.Best.Batch != base.Batch || res.Best.QueueDepth != base.QueueDepth {
+		t.Fatalf("moved off the optimum base: %+v", res.Best)
+	}
+	if res.Best.Throughput != 1e6 {
+		t.Fatalf("best throughput %v, want the base's 1e6", res.Best.Throughput)
+	}
+}
+
+// TestAutotuneMemoizes: revisited configurations are served from the
+// memo, not re-measured — the curve has no duplicate points.
+func TestAutotuneMemoizes(t *testing.T) {
+	var trials int
+	res, err := Autotune(context.Background(), AutotuneOptions{Base: autotuneBase(), MaxSweeps: 6},
+		syntheticSurface(func(w, b, q int) float64 { return float64(w) }, &trials), time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[4]int]bool{}
+	for _, tr := range res.Trials {
+		k := [4]int{tr.Workers, tr.Batch, tr.QueueDepth, tr.QueryWorkers}
+		if seen[k] {
+			t.Fatalf("config %v measured twice", k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestAutotuneIgnoresErroringTrials: a config whose trial saw permanent
+// errors never becomes the incumbent, however fast it claims to be.
+func TestAutotuneIgnoresErroringTrials(t *testing.T) {
+	base := autotuneBase()
+	run := func(_ context.Context, cfg Config) (*Result, error) {
+		var h stats.Histogram
+		h.Record(1000)
+		r := &Result{Config: cfg, Elapsed: time.Second, Ingest: SideResult{Requests: 1, Hist: &h}}
+		if cfg.Workers == base.Workers && cfg.Batch == base.Batch && cfg.QueueDepth == base.QueueDepth {
+			r.Ingest.Updates = 1000
+		} else {
+			r.Ingest.Updates = 1_000_000 // tempting...
+			r.Ingest.Errors = 7          // ...but broken
+		}
+		return r, nil
+	}
+	res, err := Autotune(context.Background(), AutotuneOptions{Base: base}, run, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Errors != 0 || res.Best.Throughput != 1000 {
+		t.Fatalf("an erroring trial won: %+v", res.Best)
+	}
+}

@@ -1,0 +1,361 @@
+package loadtest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skimsketch/internal/stats"
+	"skimsketch/internal/workload"
+)
+
+// Config tunes one harness run. The zero value is not runnable; see
+// (*Config).applyDefaults for what the knobs default to.
+type Config struct {
+	// BaseURL is the sketchd root URL.
+	BaseURL string `json:"baseURL"`
+	// Streams are the target stream names; batches round-robin across
+	// them. They must already be declared (Run does not declare streams:
+	// setup belongs to the caller, which knows whether the server is
+	// fresh).
+	Streams []string `json:"streams"`
+	// Shape is the key distribution (workload.ParseShape syntax) and
+	// Domain its value range; Seed makes the stream reproducible.
+	Shape  string `json:"shape"`
+	Domain uint64 `json:"domain"`
+	Seed   int64  `json:"seed"`
+
+	// Rate is the open-loop arrival rate in updates/sec fed through a
+	// token bucket; 0 means unpaced (generate as fast as the queue
+	// accepts). Burst is the bucket capacity in updates (default: one
+	// batch).
+	Rate  float64 `json:"rate"`
+	Burst int     `json:"burst"`
+
+	// Workers is the number of concurrent ingest workers, Batch the
+	// updates per request, QueueDepth the bounded buffer (in batches)
+	// between the arrival process and the workers. When the queue is
+	// full the arrival process sheds the batch client-side (open loop:
+	// arrivals never slow down, the shed count is reported).
+	Workers    int `json:"workers"`
+	Batch      int `json:"batch"`
+	QueueDepth int `json:"queueDepth"`
+
+	// Duration bounds the run in time; TotalUpdates bounds it in volume.
+	// Whichever is reached first stops the arrival process (0 disables
+	// that bound; at least one must be set).
+	Duration     time.Duration `json:"duration"`
+	TotalUpdates int64         `json:"totalUpdates"`
+
+	// QueryWorkers (with QueryName) adds a mixed closed-loop query
+	// stream against /answer for the run's duration.
+	QueryWorkers int    `json:"queryWorkers"`
+	QueryName    string `json:"queryName"`
+
+	// Client carries the HTTP transport and 429 backoff policy.
+	Client Client `json:"-"`
+}
+
+func (c *Config) applyDefaults() error {
+	if c.BaseURL == "" && c.Client.BaseURL == "" {
+		return fmt.Errorf("loadtest: BaseURL required")
+	}
+	if c.Client.BaseURL == "" {
+		c.Client.BaseURL = c.BaseURL
+	}
+	if c.BaseURL == "" {
+		c.BaseURL = c.Client.BaseURL
+	}
+	if len(c.Streams) == 0 {
+		return fmt.Errorf("loadtest: at least one target stream required")
+	}
+	if c.Shape == "" {
+		c.Shape = "zipf:1.0"
+	}
+	if c.Domain == 0 {
+		c.Domain = 1 << 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Batch <= 0 {
+		c.Batch = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Burst <= 0 {
+		c.Burst = c.Batch
+	}
+	if c.Duration <= 0 && c.TotalUpdates <= 0 {
+		return fmt.Errorf("loadtest: set Duration or TotalUpdates")
+	}
+	if c.QueryWorkers > 0 && c.QueryName == "" {
+		return fmt.Errorf("loadtest: QueryWorkers requires QueryName")
+	}
+	return nil
+}
+
+// SideResult aggregates one side (ingest or query) of a run. The
+// histogram is the merge of every worker's histogram — the only
+// percentile source the harness offers.
+type SideResult struct {
+	// Requests counts HTTP attempts (for ingest: including 429'd ones).
+	Requests int64
+	// Updates counts stream elements acknowledged by 2xx responses
+	// (ingest side) — zero on the query side.
+	Updates int64
+	// Rejected429 counts attempts answered 429.
+	Rejected429 int64
+	// Retries counts re-sends after a 429 (Requests includes them).
+	Retries int64
+	// Errors counts requests that failed permanently.
+	Errors int64
+	// Shed counts updates dropped client-side because the bounded queue
+	// was full when they arrived (open-loop overflow).
+	Shed int64
+	// Hist is the merged latency histogram across workers (monotonic
+	// nanoseconds per HTTP attempt).
+	Hist *stats.Histogram
+}
+
+// Result is one harness run's measurements plus the server's own view.
+type Result struct {
+	Config  Config
+	Elapsed time.Duration
+	Ingest  SideResult
+	Query   SideResult
+	// Server is /stats fetched after a flush: the reconciliation
+	// anchor. Counters are deltas over the run (a pre-run /stats is
+	// subtracted), so a warm server reconciles too.
+	Server ServerStats
+}
+
+// tokenBucket paces the arrival process on the monotonic clock.
+type tokenBucket struct {
+	rate   float64 // tokens per second (0 = unlimited)
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// take blocks until n tokens are available (or ctx is done), then
+// spends them. With rate 0 it returns immediately.
+func (tb *tokenBucket) take(ctx context.Context, n int) error {
+	if tb.rate <= 0 {
+		return nil
+	}
+	for {
+		now := time.Now()
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		tb.last = now
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		if tb.tokens >= float64(n) {
+			tb.tokens -= float64(n)
+			return nil
+		}
+		wait := time.Duration((float64(n) - tb.tokens) / tb.rate * float64(time.Second))
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// workerTally is one ingest worker's private accounting; merged after
+// the run (never averaged).
+type workerTally struct {
+	hist                                               stats.Histogram
+	requests, updates, rejected429, retries, errorsCnt int64
+}
+
+// Run executes one load-harness run against a live sketchd: an arrival
+// goroutine paces batches through the token bucket into a bounded
+// queue, Workers ingest workers drain it honoring the 429 contract, and
+// (optionally) QueryWorkers hammer /answer. It then flushes the server
+// and fetches /stats so callers can reconcile exact counts. Run does
+// not declare streams or queries — do setup first, then Run.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	gen, err := workload.ParseShape(cfg.Shape, cfg.Domain, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+
+	// Pre-run server counters: subtracted from the post-run fetch so the
+	// reported Server view covers exactly this run.
+	pre, err := client.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: pre-run /stats: %w", err)
+	}
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if cfg.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	queue := make(chan []Update, cfg.QueueDepth)
+	var shed atomic.Int64
+	start := time.Now()
+
+	// Arrival process: open loop. Batches are generated at the token-
+	// bucket rate regardless of how the workers are doing; a full queue
+	// sheds (counts and drops) instead of slowing arrivals, so server
+	// slowness shows up as shed load and queue-depth latency, not as a
+	// silently reduced offered rate.
+	var genWG sync.WaitGroup
+	genWG.Add(1)
+	go func() {
+		defer genWG.Done()
+		defer close(queue)
+		tb := newTokenBucket(cfg.Rate, cfg.Burst)
+		var produced int64
+		for s := 0; ; s = (s + 1) % len(cfg.Streams) {
+			if cfg.TotalUpdates > 0 && produced >= cfg.TotalUpdates {
+				return
+			}
+			n := int64(cfg.Batch)
+			if cfg.TotalUpdates > 0 && cfg.TotalUpdates-produced < n {
+				n = cfg.TotalUpdates - produced
+			}
+			batch := make([]Update, n)
+			for i := range batch {
+				batch[i] = Update{Stream: cfg.Streams[s], Value: gen.Next()}
+			}
+			if err := tb.take(runCtx, len(batch)); err != nil {
+				return
+			}
+			if runCtx.Err() != nil {
+				return
+			}
+			produced += n
+			select {
+			case queue <- batch:
+			default:
+				shed.Add(n) // open loop: arrivals never block
+			}
+		}
+	}()
+
+	// Ingest workers.
+	tallies := make([]*workerTally, cfg.Workers)
+	var workWG sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		tally := &workerTally{}
+		tallies[w] = tally
+		workWG.Add(1)
+		go func() {
+			defer workWG.Done()
+			for batch := range queue {
+				// Deliveries use ctx, not runCtx: when the duration
+				// expires mid-flight, in-queue batches still finish so
+				// accounting reconciles exactly.
+				out, err := client.SendUpdates(ctx, batch, &tally.hist)
+				tally.requests += out.Attempts
+				tally.rejected429 += out.Rejected429
+				if out.Attempts > 1 {
+					tally.retries += out.Attempts - 1
+				}
+				if err != nil {
+					tally.errorsCnt++
+					continue
+				}
+				tally.updates += out.Applied
+			}
+		}()
+	}
+
+	// Optional mixed query stream: closed-loop workers issuing /answer
+	// back to back until the ingest side finishes.
+	qTallies := make([]*workerTally, cfg.QueryWorkers)
+	var qWG sync.WaitGroup
+	qCtx, qCancel := context.WithCancel(ctx)
+	for w := 0; w < cfg.QueryWorkers; w++ {
+		tally := &workerTally{}
+		qTallies[w] = tally
+		qWG.Add(1)
+		go func() {
+			defer qWG.Done()
+			for qCtx.Err() == nil {
+				t0 := time.Now()
+				err := client.Answer(qCtx, cfg.QueryName, nil)
+				if qCtx.Err() != nil {
+					return // canceled mid-request: neither counted nor recorded
+				}
+				// Timed here, not inside Answer, so the histogram count
+				// always equals the request count.
+				tally.hist.Record(int64(time.Since(t0)))
+				tally.requests++
+				if err != nil {
+					tally.errorsCnt++
+				}
+			}
+		}()
+	}
+
+	genWG.Wait()
+	workWG.Wait()
+	qCancel()
+	qWG.Wait()
+	elapsed := time.Since(start)
+
+	// Flush so every accepted update is folded in, then reconcile.
+	if err := client.Flush(ctx); err != nil {
+		return nil, fmt.Errorf("loadtest: post-run flush: %w", err)
+	}
+	post, err := client.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: post-run /stats: %w", err)
+	}
+	server := *post
+	server.Ingest.UpdatesEnqueued -= pre.Ingest.UpdatesEnqueued
+	server.Ingest.UpdatesApplied -= pre.Ingest.UpdatesApplied
+	server.Ingest.Rejected -= pre.Ingest.Rejected
+	server.UpdateLatency.Count -= pre.UpdateLatency.Count
+
+	res := &Result{Config: cfg, Elapsed: elapsed, Server: server}
+	res.Ingest = mergeTallies(tallies)
+	res.Ingest.Shed = shed.Load()
+	res.Query = mergeTallies(qTallies)
+	return res, nil
+}
+
+// mergeTallies folds per-worker tallies into one SideResult; the
+// histograms merge bucket-wise (stats.MergeHistograms), which is what
+// makes the global percentiles exact rather than averaged nonsense.
+func mergeTallies(tallies []*workerTally) SideResult {
+	var out SideResult
+	hists := make([]*stats.Histogram, 0, len(tallies))
+	for _, t := range tallies {
+		if t == nil {
+			continue
+		}
+		out.Requests += t.requests
+		out.Updates += t.updates
+		out.Rejected429 += t.rejected429
+		out.Retries += t.retries
+		out.Errors += t.errorsCnt
+		hists = append(hists, &t.hist)
+	}
+	out.Hist = stats.MergeHistograms(hists...)
+	return out
+}

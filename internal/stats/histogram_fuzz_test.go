@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzHistogramRoundTrip drives UnmarshalBinary with arbitrary bytes
+// (it must reject garbage cleanly, never panic or over-allocate) and,
+// when a blob is accepted, pins the round-trip law: re-marshaling the
+// decoded histogram reproduces an equivalent blob and the decoded
+// summary fields are internally consistent.
+func FuzzHistogramRoundTrip(f *testing.F) {
+	// Seed corpus: an empty histogram, a populated one, and a tail-heavy
+	// one whose min/max live in the extreme buckets.
+	var empty Histogram
+	if blob, err := empty.MarshalBinary(); err == nil {
+		f.Add(blob)
+	}
+	var pop Histogram
+	for i := int64(0); i < 500; i++ {
+		pop.Record(i * i % 100_000)
+	}
+	if blob, err := pop.MarshalBinary(); err == nil {
+		f.Add(blob)
+	}
+	var tail Histogram
+	tail.Record(0)
+	tail.Record(1_000_000_000_000)
+	if blob, err := tail.MarshalBinary(); err == nil {
+		f.Add(blob)
+	}
+	f.Add([]byte("SKLH garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Histogram
+		if err := h.UnmarshalBinary(data); err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		// Accepted blobs must describe a consistent histogram...
+		var total int64
+		for _, c := range h.counts {
+			total += int64(c)
+		}
+		if total != h.Count() {
+			t.Fatalf("accepted blob: bucket total %d != count %d", total, h.Count())
+		}
+		if h.Count() > 0 && h.Min() > h.Max() {
+			t.Fatalf("accepted blob: min %d > max %d", h.Min(), h.Max())
+		}
+		if q := Quantile(&h, 0.99); q < h.Min() || q > h.Max() {
+			if h.Count() > 0 {
+				t.Fatalf("accepted blob: p99 %d outside [%d, %d]", q, h.Min(), h.Max())
+			}
+		}
+		// ...and round-trip losslessly.
+		blob, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted blob failed: %v", err)
+		}
+		var back Histogram
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("re-unmarshal of canonical blob failed: %v", err)
+		}
+		if !reflect.DeepEqual(back, h) {
+			t.Fatal("round trip changed the histogram")
+		}
+		blob2, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatal("canonical re-marshal is not byte-stable")
+		}
+	})
+}

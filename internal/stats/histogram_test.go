@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestBucketBoundaryInvariants pins the fixed layout: buckets tile the
+// non-negative int64 range in order with no gaps or overlaps, every
+// boundary value maps back to its own bucket, and the relative bucket
+// width above the exact range is bounded by 1/16.
+func TestBucketBoundaryInvariants(t *testing.T) {
+	lo0, _ := bucketBounds(0)
+	if lo0 != 0 {
+		t.Fatalf("first bucket starts at %d, want 0", lo0)
+	}
+	prevHi := int64(0)
+	for i := 0; i < numBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d starts at %d, previous ended at %d (gap or overlap)", i, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d has empty range [%d, %d)", i, lo, hi)
+		}
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(lo=%d) = %d, want %d", lo, got, i)
+		}
+		if i < numBuckets-1 {
+			if got := bucketIndex(hi - 1); got != i {
+				t.Fatalf("bucketIndex(hi-1=%d) = %d, want %d", hi-1, got, i)
+			}
+		}
+		if lo >= histSubBuckets {
+			if width := hi - lo; width > lo/histSubBuckets+1 {
+				t.Fatalf("bucket %d width %d exceeds lo/16 (lo=%d)", i, width, lo)
+			}
+		}
+		prevHi = hi
+	}
+	if prevHi != math.MaxInt64 {
+		t.Fatalf("layout ends at %d, want MaxInt64", prevHi)
+	}
+	// The extreme value lands in the last bucket, not out of range.
+	if got := bucketIndex(math.MaxInt64); got != numBuckets-1 {
+		t.Fatalf("bucketIndex(MaxInt64) = %d, want %d", got, numBuckets-1)
+	}
+}
+
+// sampleStreams builds nWorkers synthetic per-worker latency streams
+// with deliberately unequal sizes and scales — the shape that breaks
+// percentile averaging.
+func sampleStreams(seed int64, nWorkers int) [][]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	streams := make([][]int64, nWorkers)
+	for w := range streams {
+		n := 50 + rng.Intn(2000)
+		scale := float64(int64(1) << uint(10+rng.Intn(20)))
+		for i := 0; i < n; i++ {
+			v := int64(rng.ExpFloat64() * scale)
+			streams[w] = append(streams[w], v)
+		}
+	}
+	return streams
+}
+
+// TestMergeBitIdentity is the tentpole property: merging N per-worker
+// histograms is bit-identical — same struct, same marshaled bytes — to
+// one histogram fed the concatenated samples, for any interleaving.
+func TestMergeBitIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		streams := sampleStreams(seed, 1+int(seed%7))
+		perWorker := make([]*Histogram, len(streams))
+		var all Histogram
+		for w, s := range streams {
+			perWorker[w] = &Histogram{}
+			for _, v := range s {
+				perWorker[w].Record(v)
+				all.Record(v)
+			}
+		}
+		merged := MergeHistograms(perWorker...)
+		if !reflect.DeepEqual(*merged, all) {
+			t.Fatalf("seed %d: merged histogram differs from concatenated-sample histogram", seed)
+		}
+		mb, err := merged.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := all.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mb, ab) {
+			t.Fatalf("seed %d: merged and concatenated marshal to different bytes", seed)
+		}
+		// Merge order must not matter either.
+		for i, j := 0, len(perWorker)-1; i < j; i, j = i+1, j-1 {
+			perWorker[i], perWorker[j] = perWorker[j], perWorker[i]
+		}
+		if rev := MergeHistograms(perWorker...); !reflect.DeepEqual(*rev, all) {
+			t.Fatalf("seed %d: merge is order-sensitive", seed)
+		}
+	}
+}
+
+// TestQuantileMonotonicity: q1 ≤ q2 ⇒ Quantile(q1) ≤ Quantile(q2), and
+// every quantile stays within [Min, Max].
+func TestQuantileMonotonicity(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		var h Histogram
+		for _, s := range sampleStreams(seed, 4) {
+			for _, v := range s {
+				h.Record(v)
+			}
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.001 {
+			v := Quantile(&h, q)
+			if v < prev {
+				t.Fatalf("seed %d: Quantile(%v) = %d < previous %d", seed, q, v, prev)
+			}
+			if v < h.Min() || v > h.Max() {
+				t.Fatalf("seed %d: Quantile(%v) = %d outside [%d, %d]", seed, q, v, h.Min(), h.Max())
+			}
+			prev = v
+		}
+		if got := Quantile(&h, 0); got != h.Min() {
+			t.Fatalf("Quantile(0) = %d, want Min %d", got, h.Min())
+		}
+		if got := Quantile(&h, 1); got != h.Max() {
+			t.Fatalf("Quantile(1) = %d, want Max %d", got, h.Max())
+		}
+	}
+}
+
+// TestQuantileAccuracy: against the exact sorted-sample quantile, the
+// histogram quantile errs by at most one bucket width (≤ 1/16 relative
+// above the exact range).
+func TestQuantileAccuracy(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		var h Histogram
+		var samples []int64
+		for _, s := range sampleStreams(seed, 3) {
+			for _, v := range s {
+				h.Record(v)
+				samples = append(samples, v)
+			}
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+			rank := int(math.Ceil(q * float64(len(samples))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := samples[rank-1]
+			got := Quantile(&h, q)
+			lo, hi := bucketBounds(bucketIndex(exact))
+			if got < lo || (got >= hi && exact < h.Max()) {
+				t.Fatalf("seed %d q=%v: Quantile = %d, exact %d lives in bucket [%d, %d)", seed, q, got, exact, lo, hi)
+			}
+		}
+	}
+}
+
+// TestAveragedPercentilesAreWrong is a deliberately constructed
+// counter-example documenting why this package refuses the naive
+// aggregation: with a fast worker handling most requests and a slow
+// straggler handling a few, the mean of per-worker p99s lands nowhere
+// near the true global p99 — here it overstates tail latency by more
+// than 100x. Merge histograms; never average percentiles.
+func TestAveragedPercentilesAreWrong(t *testing.T) {
+	fast, slow := &Histogram{}, &Histogram{}
+	for i := 0; i < 9900; i++ {
+		fast.Record(1_000) // 1µs
+	}
+	for i := 0; i < 100; i++ {
+		slow.Record(1_000_000_000) // 1s straggler
+	}
+	// True global p99 over the concatenated 10000 samples: rank 9900 is
+	// still a fast request.
+	merged := MergeHistograms(fast, slow)
+	truth := Quantile(merged, 0.99)
+	if truth >= 2_000 {
+		t.Fatalf("true p99 = %dns, expected ~1µs (fast bucket)", truth)
+	}
+	// The naive aggregate: average the per-worker p99s.
+	averaged := (Quantile(fast, 0.99) + Quantile(slow, 0.99)) / 2
+	if averaged < 100*truth {
+		t.Fatalf("counter-example lost its teeth: averaged p99 %dns vs true %dns", averaged, truth)
+	}
+}
+
+// TestHistogramMarshalRoundTrip: marshal → unmarshal reproduces the
+// histogram exactly, including summary fields, and re-marshals to the
+// same bytes.
+func TestHistogramMarshalRoundTrip(t *testing.T) {
+	hs := []*Histogram{{}} // empty histogram round-trips too
+	for seed := int64(1); seed <= 5; seed++ {
+		var h Histogram
+		for _, s := range sampleStreams(seed, 2) {
+			for _, v := range s {
+				h.Record(v)
+			}
+		}
+		hs = append(hs, &h)
+	}
+	for i, h := range hs {
+		blob, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Histogram
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(back, *h) {
+			t.Fatalf("case %d: round trip changed the histogram", i)
+		}
+		blob2, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("case %d: re-marshal differs", i)
+		}
+	}
+}
+
+// TestHistogramUnmarshalGarbage: corrupted blobs are rejected, never
+// accepted into an inconsistent histogram.
+func TestHistogramUnmarshalGarbage(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 1000; i++ {
+		h.Record(i * 37)
+	}
+	blob, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     blob[:10],
+		"truncated": blob[:len(blob)-5],
+		"magic":     append([]byte("XXXX"), blob[4:]...),
+	}
+	// Flip the header count so it disagrees with the bucket totals.
+	bad := append([]byte(nil), blob...)
+	bad[12] ^= 0xff
+	cases["countMismatch"] = bad
+	for name, data := range cases {
+		var back Histogram
+		if err := back.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: corrupted blob accepted", name)
+		}
+	}
+}
+
+// TestRecordClampsNegative: a negative sample (a misordered timestamp
+// subtraction) is clamped to 0, not panicked on.
+func TestRecordClampsNegative(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative record: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+}
+
+// TestQuantileEmpty: a quantile of nothing is 0, not a panic.
+func TestQuantileEmpty(t *testing.T) {
+	if got := Quantile(&Histogram{}, 0.5); got != 0 {
+		t.Fatalf("Quantile(empty) = %d", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(nil) = %d", got)
+	}
+}

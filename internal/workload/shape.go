@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseShape builds a Generator from a compact textual spec — the form
+// load tools (cmd/loadgen, cmd/datagen pipelines) accept on the command
+// line. Supported shapes:
+//
+//	uniform            uniform over [0, domain)
+//	zipf               Zipf with the paper's z = 1.0
+//	zipf:Z             Zipf with skew Z (Z ≥ 0)
+//	SHAPE+shift:S      right-shift the base shape by S (mod domain),
+//	                   the paper's join-size knob
+//
+// The generator draws from a private source seeded with seed, so a
+// fixed (spec, domain, seed) triple reproduces the same value stream on
+// every box — the property the deterministic harness tests and the CI
+// bench-smoke run rely on.
+func ParseShape(spec string, domain uint64, seed int64) (Generator, error) {
+	if domain == 0 {
+		return nil, fmt.Errorf("workload: domain must be positive")
+	}
+	base := strings.TrimSpace(spec)
+	var shift uint64
+	hasShift := false
+	if i := strings.Index(base, "+"); i >= 0 {
+		mod := strings.TrimSpace(base[i+1:])
+		base = strings.TrimSpace(base[:i])
+		val, ok := strings.CutPrefix(mod, "shift:")
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown shape modifier %q (want shift:S)", mod)
+		}
+		s, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad shift in %q: %v", spec, err)
+		}
+		shift, hasShift = s, true
+	}
+	var g Generator
+	switch {
+	case base == "uniform":
+		g = NewUniform(domain, seed)
+	case base == "zipf":
+		z, err := NewZipf(domain, 1.0, seed)
+		if err != nil {
+			return nil, err
+		}
+		g = z
+	case strings.HasPrefix(base, "zipf:"):
+		zv, err := strconv.ParseFloat(base[len("zipf:"):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad zipf skew in %q: %v", spec, err)
+		}
+		z, err := NewZipf(domain, zv, seed)
+		if err != nil {
+			return nil, err
+		}
+		g = z
+	default:
+		return nil, fmt.Errorf("workload: unknown shape %q (want uniform, zipf, or zipf:Z)", spec)
+	}
+	if hasShift {
+		g = NewShifted(g, shift)
+	}
+	return g, nil
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+)
+
+// drawN pulls n values from g.
+func drawN(t *testing.T, g Generator, n int) []uint64 {
+	t.Helper()
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Next()
+		if out[i] >= g.Domain() {
+			t.Fatalf("value %d outside domain %d", out[i], g.Domain())
+		}
+	}
+	return out
+}
+
+// TestParseShapeEquivalence: every spec reproduces the generator it
+// names, value for value.
+func TestParseShapeEquivalence(t *testing.T) {
+	const domain, seed = 4096, 99
+	cases := []struct {
+		spec string
+		want func() Generator
+	}{
+		{"uniform", func() Generator { return NewUniform(domain, seed) }},
+		{"zipf", func() Generator { z, _ := NewZipf(domain, 1.0, seed); return z }},
+		{"zipf:0.8", func() Generator { z, _ := NewZipf(domain, 0.8, seed); return z }},
+		{"zipf:1.0+shift:100", func() Generator {
+			z, _ := NewZipf(domain, 1.0, seed)
+			return NewShifted(z, 100)
+		}},
+		{"uniform+shift:7", func() Generator { return NewShifted(NewUniform(domain, seed), 7) }},
+	}
+	for _, tc := range cases {
+		g, err := ParseShape(tc.spec, domain, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		got := drawN(t, g, 500)
+		want := drawN(t, tc.want(), 500)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: value %d differs: got %d want %d", tc.spec, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParseShapeDeterministic: the same (spec, domain, seed) triple
+// yields the same stream across independent parses.
+func TestParseShapeDeterministic(t *testing.T) {
+	a, err := ParseShape("zipf:1.0", 1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseShape("zipf:1.0", 1024, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, bv := drawN(t, a, 1000), drawN(t, b, 1000)
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("streams diverge at %d: %d vs %d", i, av[i], bv[i])
+		}
+	}
+}
+
+// TestParseShapeErrors: malformed specs are rejected with an error, not
+// a fallback shape that would silently change the workload.
+func TestParseShapeErrors(t *testing.T) {
+	bad := []string{
+		"", "gauss", "zipf:", "zipf:x", "zipf:-1",
+		"uniform+stretch:3", "uniform+shift:", "uniform+shift:-2",
+	}
+	for _, spec := range bad {
+		if g, err := ParseShape(spec, 64, 1); err == nil {
+			t.Errorf("spec %q accepted as %T", spec, g)
+		}
+	}
+	if _, err := ParseShape("uniform", 0, 1); err == nil {
+		t.Error("zero domain accepted")
+	}
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Bench smoke test (docs/OPERATIONS.md "Benchmarking & autotuning"):
+#
+#   1. boot sketchd with the concurrent ingest pipeline
+#   2. run loadgen against it for a few seconds with a fixed seed,
+#      declaring the streams and driving a mixed ingest + query load
+#   3. assert the emitted BENCH_ingest.json / BENCH_query.json pass
+#      loadgen's own -validate gate (schema-valid, nonzero throughput)
+#
+# This is a smoke test, not a benchmark: CI machines are noisy, so only
+# the report plumbing is gated, never the numbers. The BENCH files are
+# left in $OUT_DIR (default: a temp dir; CI uploads them as artifacts).
+#
+# Run from the repository root: ./scripts/bench_smoke.sh [out-dir]
+set -euo pipefail
+
+ADDR="127.0.0.1:18437"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+OUT_DIR="${1:-$WORKDIR/bench}"
+PID=""
+
+cleanup() {
+    if [[ -n "$PID" ]] && kill -0 "$PID" 2>/dev/null; then
+        kill -9 "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+die() { echo "FAIL: $*" >&2; exit 1; }
+
+mkdir -p "$OUT_DIR"
+
+echo "== build"
+go build -o "$WORKDIR/sketchd" ./cmd/sketchd
+go build -o "$WORKDIR/loadgen" ./cmd/loadgen
+
+echo "== boot sketchd"
+"$WORKDIR/sketchd" -addr "$ADDR" -tables 5 -buckets 512 \
+    -ingest.workers 2 -ingest.batch 128 -ingest.queue 32 &
+PID=$!
+
+echo "== loadgen (fixed seed, ~5s)"
+"$WORKDIR/loadgen" -target "$BASE" -declare -wait 10s \
+    -seed 42 -domain 4096 -shape zipf:1.0 \
+    -duration 5s -rate 20000 \
+    -ingest.workers 2 -ingest.batch 128 -ingest.queue 32 \
+    -query.workers 1 -query.name q \
+    -out "$OUT_DIR" || die "loadgen run failed"
+
+echo "== validate BENCH reports"
+"$WORKDIR/loadgen" -validate "$OUT_DIR/BENCH_ingest.json,$OUT_DIR/BENCH_query.json" \
+    || die "BENCH validation failed"
+
+kill -TERM "$PID"
+wait "$PID" || die "sketchd did not exit cleanly"
+PID=""
+
+echo "PASS: bench smoke (reports in $OUT_DIR)"
