@@ -57,6 +57,7 @@ type options struct {
 	queue    int
 	qworkers int
 	qname    string
+	tenants  int
 	outDir   string
 
 	autotune       bool
@@ -85,6 +86,7 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.queue, "ingest.queue", 64, "client-side queue depth in batches (full queue = open-loop shed)")
 	fs.IntVar(&o.qworkers, "query.workers", 0, "concurrent /answer goroutines (0 = no query stream)")
 	fs.StringVar(&o.qname, "query.name", "q", "query to answer (and to register under -declare)")
+	fs.IntVar(&o.tenants, "tenants", 0, "fan the run out across N tenant namespaces (t0..tN-1), each batch's tenant drawn from the seeded workload shape; reports carry exact per-tenant reconciliation (0 or 1 = single default tenant)")
 	fs.StringVar(&o.outDir, "out", ".", "directory for BENCH_*.json reports")
 	fs.BoolVar(&o.autotune, "autotune", false, "search -ingest.*/-query.workers for max throughput before the measured run")
 	fs.DurationVar(&o.autotuneTrial, "autotune.trial", 2*time.Second, "duration of each autotune trial")
@@ -127,6 +129,7 @@ func (o options) config() loadtest.Config {
 		Duration:     o.duration,
 		TotalUpdates: o.updates,
 		QueryWorkers: o.qworkers,
+		Tenants:      o.tenants,
 	}
 	for _, s := range strings.Split(o.streams, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -200,6 +203,14 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 		ingest.ThroughputPerSec, ingest.Updates, ingest.Requests, ingest.Rejected429,
 		ingest.Retries, ingest.Shed, ingest.Errors,
 		time.Duration(ingest.Latency.P50Ns), time.Duration(ingest.Latency.P99Ns), ingestPath)
+	for _, t := range res.Tenants {
+		status := "reconciled"
+		if t.UpdatesSent != t.ServerUpdates {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(out, "loadgen tenant %s: client %d / server %d updates (%s), %d rejected by quota\n",
+			t.Tenant, t.UpdatesSent, t.ServerUpdates, status, t.ServerRejected)
+	}
 	if cfg.QueryWorkers > 0 {
 		query := loadtest.QueryReport(res, now)
 		queryPath := filepath.Join(opts.outDir, "BENCH_query.json")
@@ -218,31 +229,43 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 
 // declareWorkload declares the run's streams and registers the COUNT
 // query for the mixed stream, tolerating declarations that already
-// exist so repeated runs against a warm server work.
+// exist so repeated runs against a warm server work. With -tenants N
+// the same setup is repeated in every tenant namespace (plus the
+// default tenant, which the mixed query stream targets).
 func declareWorkload(ctx context.Context, client *loadtest.Client, cfg loadtest.Config, out io.Writer) error {
-	for _, s := range cfg.Streams {
-		err := client.DeclareStream(ctx, s, cfg.Domain)
+	clients := []*loadtest.Client{client}
+	for _, name := range loadtest.TenantNames(cfg.Tenants) {
+		clients = append(clients, client.ForTenant(name))
+	}
+	for _, c := range clients {
+		label := ""
+		if c.Tenant != "" {
+			label = " [" + c.Tenant + "]"
+		}
+		for _, s := range cfg.Streams {
+			err := c.DeclareStream(ctx, s, cfg.Domain)
+			switch {
+			case err == nil:
+				fmt.Fprintf(out, "loadgen declared stream %s%s (domain %d)\n", s, label, cfg.Domain)
+			case strings.Contains(err.Error(), "already declared"):
+			default:
+				return err
+			}
+		}
+		if cfg.QueryName == "" {
+			continue
+		}
+		if len(cfg.Streams) < 2 {
+			return fmt.Errorf("query stream needs two streams to join, have %d", len(cfg.Streams))
+		}
+		err := c.RegisterCountQuery(ctx, cfg.QueryName, cfg.Streams[0], cfg.Streams[1])
 		switch {
 		case err == nil:
-			fmt.Fprintf(out, "loadgen declared stream %s (domain %d)\n", s, cfg.Domain)
-		case strings.Contains(err.Error(), "already declared"):
+			fmt.Fprintf(out, "loadgen registered query %s%s = COUNT(%s join %s)\n", cfg.QueryName, label, cfg.Streams[0], cfg.Streams[1])
+		case strings.Contains(err.Error(), "already registered"):
 		default:
 			return err
 		}
-	}
-	if cfg.QueryName == "" {
-		return nil
-	}
-	if len(cfg.Streams) < 2 {
-		return fmt.Errorf("query stream needs two streams to join, have %d", len(cfg.Streams))
-	}
-	err := client.RegisterCountQuery(ctx, cfg.QueryName, cfg.Streams[0], cfg.Streams[1])
-	switch {
-	case err == nil:
-		fmt.Fprintf(out, "loadgen registered query %s = COUNT(%s join %s)\n", cfg.QueryName, cfg.Streams[0], cfg.Streams[1])
-	case strings.Contains(err.Error(), "already registered"):
-	default:
-		return err
 	}
 	return nil
 }

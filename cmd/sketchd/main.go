@@ -30,7 +30,19 @@
 // replayed tail is bit-identical to uninterrupted ingestion. See
 // docs/OPERATIONS.md for the full lifecycle contract.
 //
-// API (JSON bodies, JSON responses):
+// Every piece of state is scoped to a tenant namespace. The flat API
+// below operates on the "default" tenant, so single-tenant deployments
+// are unaffected; prefix any path with /t/{tenant}/ (or add ?tenant= /
+// a "tenant" body field) to scope it. All tenants share one ingest
+// pipeline and one sketch configuration; per-tenant quotas on synopsis
+// memory and ingest queue share (-tenant.max-synopsis-words,
+// -tenant.max-pending-updates, or per-tenant via POST /tenants) reject
+// over-quota requests with 429 + Retry-After. Standing watches
+// (/watches) raise hysteresis alerts on watched query estimates,
+// evaluated on demand or every -watch.interval.
+//
+// API (JSON bodies, JSON responses; all but /healthz, /tenants and
+// /flush also under /t/{tenant}/...):
 //
 //	POST   /streams     {"name":"F","domain":262144}
 //	POST   /predicates  {"name":"small","min":0,"max":4095}     (value range)
@@ -41,11 +53,18 @@
 //	POST   /update      {"stream":"F","value":7,"weight":1}
 //	                    or a JSON array of such objects (batch)
 //	GET    /answer?query=q
-//	POST   /flush       (drain the ingest pipeline)
+//	POST   /flush       (drain the ingest pipeline; shared, drains all tenants)
 //	GET    /healthz     (readiness: 200 serving, 503 draining)
-//	GET    /stats
-//	GET    /snapshot    (checkpoint: engine state as JSON)
-//	POST   /restore     (load a snapshot into an empty engine)
+//	GET    /stats       (global + per-tenant; scoped: one tenant's slice)
+//	GET    /snapshot    (checkpoint: engine state as JSON; scoped: one tenant)
+//	POST   /restore     (load a snapshot into an empty engine/tenant)
+//	GET    /tenants     (list tenants with quotas and counters)
+//	POST   /tenants     {"name":"acme","quota":{"maxSynopsisWords":65536,
+//	                     "maxPendingUpdates":100000}}
+//	GET    /watches     (list standing watches)
+//	POST   /watches     {"query":"q","high":1000000,"low":900000}
+//	DELETE /watches/q
+//	POST   /watches/evaluate
 package main
 
 import (
@@ -66,6 +85,7 @@ import (
 	"skimsketch/internal/checkpoint"
 	"skimsketch/internal/core"
 	"skimsketch/internal/engine"
+	"skimsketch/internal/monitor"
 )
 
 // options collects every flag so run is testable without a flag set.
@@ -78,6 +98,10 @@ type options struct {
 	batch    int
 	queue    int
 	qworkers int
+
+	tenantMaxWords   int
+	tenantMaxPending int64
+	watchInterval    time.Duration
 
 	checkpointDir      string
 	checkpointInterval time.Duration
@@ -99,6 +123,9 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.batch, "ingest.batch", 256, "max updates per queued ingest batch")
 	fs.IntVar(&o.queue, "ingest.queue", 64, "per-worker ingest queue capacity in batches")
 	fs.IntVar(&o.qworkers, "query.workers", 0, "estimation goroutines per /answer (0 or 1 = sequential, -1 = one per CPU); answers are bit-identical for every setting")
+	fs.IntVar(&o.tenantMaxWords, "tenant.max-synopsis-words", 0, "default per-tenant synopsis memory quota in sketch words (0 = unlimited); override per tenant via POST /tenants")
+	fs.Int64Var(&o.tenantMaxPending, "tenant.max-pending-updates", 0, "default per-tenant ingest queue-share quota in pending updates (0 = unlimited); override per tenant via POST /tenants")
+	fs.DurationVar(&o.watchInterval, "watch.interval", 0, "periodic standing-watch evaluation interval (0 = evaluate only via POST /watches/evaluate)")
 	fs.StringVar(&o.checkpointDir, "checkpoint.dir", "", "directory for crash-safe checkpoints (empty = no persistence)")
 	fs.DurationVar(&o.checkpointInterval, "checkpoint.interval", 30*time.Second, "periodic checkpoint interval (0 = only the final checkpoint on shutdown)")
 	fs.DurationVar(&o.readHeaderTimeout, "http.read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
@@ -135,6 +162,10 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 	eng, err := engine.New(engine.Options{
 		SketchConfig: core.Config{Tables: opts.tables, Buckets: opts.buckets, Seed: opts.seed},
 		QueryWorkers: opts.qworkers,
+		DefaultQuota: engine.Quota{
+			MaxSynopsisWords:  opts.tenantMaxWords,
+			MaxPendingUpdates: opts.tenantMaxPending,
+		},
 	})
 	if err != nil {
 		return err
@@ -198,6 +229,46 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 			mgr.Run(cpCtx, opts.checkpointInterval, srv.writeCheckpoint, func(err error) {
 				log.Print("sketchd: periodic checkpoint: ", err)
 			})
+		}()
+	}
+
+	// Periodic standing-watch evaluation: every tick answers each watched
+	// query (cache-served when its synopses are unchanged) and runs the
+	// alert state machines, logging transitions. Shares the checkpointer's
+	// quiesce point so no evaluation runs during the shutdown drain.
+	if opts.watchInterval > 0 {
+		cpWG.Add(1)
+		go func() {
+			defer cpWG.Done()
+			ticker := time.NewTicker(opts.watchInterval)
+			defer ticker.Stop()
+			// Log only state flips, not every tick spent in alert: compare
+			// each watch's cumulative transition count against the last tick.
+			lastTransitions := make(map[monitor.WatchKey]int64)
+			for {
+				select {
+				case <-cpCtx.Done():
+					return
+				case <-ticker.C:
+					sts, err := eng.EvaluateAllWatches()
+					if err != nil {
+						log.Print("sketchd: watch evaluation: ", err)
+						continue
+					}
+					for _, st := range sts {
+						key := monitor.WatchKey{Tenant: st.Tenant, Query: st.Query}
+						if st.Transitions != lastTransitions[key] {
+							lastTransitions[key] = st.Transitions
+							state := "cleared"
+							if st.State == monitor.Alert {
+								state = "raised"
+							}
+							log.Printf("sketchd: watch %s/%s %s: estimate %d vs band [low %d, high %d]",
+								st.Tenant, st.Query, state, st.LastEstimate, st.Low, st.High)
+						}
+					}
+				}
+			}
 		}()
 	}
 

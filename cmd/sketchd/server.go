@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"skimsketch/internal/engine"
+	"skimsketch/internal/monitor"
 	"skimsketch/internal/stats"
 	"skimsketch/internal/stream"
 )
@@ -65,8 +67,79 @@ func newServer(eng *engine.Engine) *server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/restore", s.handleRestore)
+	s.mux.HandleFunc("/tenants", s.handleTenants)
+	s.mux.HandleFunc("/watches", s.handleWatches)
+	s.mux.HandleFunc("/watches/", s.handleWatchByName)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// tenantCtxKey carries the tenant resolved from the URL (path prefix or
+// ?tenant=) through the mux. The empty string means "not specified",
+// which is distinct from naming the default tenant explicitly: a bare
+// /stats reports every tenant, /t/default/stats reports one.
+type tenantCtxKey struct{}
+
+// ServeHTTP resolves the tenant scope, then muxes. Every endpoint of
+// the flat API is also reachable under /t/{tenant}/…, and a ?tenant=
+// query parameter scopes the flat paths; naming conflicting tenants in
+// both is a 400, not a silent pick.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	tenant := ""
+	if rest, ok := strings.CutPrefix(r.URL.Path, "/t/"); ok {
+		name, tail, found := strings.Cut(rest, "/")
+		if !found || name == "" {
+			writeErr(w, http.StatusNotFound, errors.New("tenant-scoped paths are /t/{tenant}/{endpoint}"))
+			return
+		}
+		tenant = name
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = "/" + tail
+		r = r2
+	}
+	if q := r.URL.Query().Get("tenant"); q != "" {
+		if tenant != "" && q != tenant {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("conflicting tenants %q (path) and %q (query)", tenant, q))
+			return
+		}
+		tenant = q
+	}
+	if tenant != "" {
+		if err := engine.ValidTenantName(tenant); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		r = r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tenant))
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// requestTenant returns the tenant the URL named, or "" when the
+// request used the flat un-scoped API.
+func requestTenant(r *http.Request) string {
+	tenant, _ := r.Context().Value(tenantCtxKey{}).(string)
+	return tenant
+}
+
+// scope resolves the tenant handle a request operates on. bodyTenant is
+// the request body's optional "tenant" field; precedence is path >
+// query > body, with disagreement between URL and body rejected rather
+// than resolved. An entirely unscoped request targets the default
+// tenant, which is how the pre-tenant flat API keeps its behavior.
+func (s *server) scope(r *http.Request, bodyTenant string) (*engine.Tenant, error) {
+	tenant := requestTenant(r)
+	if bodyTenant != "" && tenant != "" && bodyTenant != tenant {
+		return nil, fmt.Errorf("conflicting tenants %q (url) and %q (body)", tenant, bodyTenant)
+	}
+	if tenant == "" {
+		tenant = bodyTenant
+	}
+	if tenant == "" {
+		tenant = engine.DefaultTenant
+	} else if err := engine.ValidTenantName(tenant); err != nil {
+		return nil, err
+	}
+	return s.eng.Tenant(tenant), nil
 }
 
 // handleHealthz is the readiness probe: 200 while the server is taking
@@ -113,8 +186,6 @@ func (s *server) updateLatencySnapshot() map[string]any {
 	}
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
 // writeJSON renders v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -127,6 +198,19 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// writeEngineErr maps an engine registration/ingest error to the wire:
+// the whole ErrQuotaExceeded family becomes 429 with a Retry-After hint
+// (the universal "this tenant is over its share" signal clients already
+// back off on), everything else is a caller mistake (400).
+func writeEngineErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, engine.ErrQuotaExceeded) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err)
+}
+
 // decode parses the request body into v.
 func decode(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
@@ -135,6 +219,7 @@ func decode(r *http.Request, v any) error {
 }
 
 type streamReq struct {
+	Tenant string `json:"tenant,omitempty"`
 	Name   string `json:"name"`
 	Domain uint64 `json:"domain"`
 }
@@ -147,13 +232,19 @@ func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		if err := s.eng.DeclareStream(req.Name, req.Domain); err != nil {
+		t, err := s.scope(r, req.Tenant)
+		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := t.DeclareStream(req.Name, req.Domain); err != nil {
+			writeEngineErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, map[string]any{"streams": s.eng.Streams()})
+		t, _ := s.scope(r, "")
+		writeJSON(w, http.StatusOK, map[string]any{"streams": t.Streams()})
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST or GET"))
 	}
@@ -162,18 +253,21 @@ func (s *server) handleStreams(w http.ResponseWriter, r *http.Request) {
 // predicateReq describes a value-range predicate [min, max], the
 // predicate form expressible over the wire.
 type predicateReq struct {
-	Name string `json:"name"`
-	Min  uint64 `json:"min"`
-	Max  uint64 `json:"max"`
+	Tenant string `json:"tenant,omitempty"`
+	Name   string `json:"name"`
+	Min    uint64 `json:"min"`
+	Max    uint64 `json:"max"`
 }
 
 // predicateDef is the persistent form of a range predicate: unlike the
 // engine's opaque predicate functions it serializes, so checkpoints are
-// self-contained.
+// self-contained. An empty Tenant means the default tenant — which is
+// also what a pre-tenant (version 1) checkpoint decodes to.
 type predicateDef struct {
-	Name string `json:"name"`
-	Min  uint64 `json:"min"`
-	Max  uint64 `json:"max"`
+	Tenant string `json:"tenant,omitempty"`
+	Name   string `json:"name"`
+	Min    uint64 `json:"min"`
+	Max    uint64 `json:"max"`
 }
 
 // rangePredicate builds the engine predicate for a [min, max] value range.
@@ -184,19 +278,26 @@ func rangePredicate(min, max uint64) engine.Predicate {
 // registerRangePredicate registers def with the engine and records its
 // definition for checkpointing. Re-registering an identical definition
 // is a no-op (so checkpoint restore is idempotent); a conflicting
-// definition under an existing name is an error.
+// definition under an existing (tenant, name) is an error.
 func (s *server) registerRangePredicate(def predicateDef) error {
+	if def.Tenant == engine.DefaultTenant {
+		def.Tenant = "" // canonical spelling, so dedup and checkpoints agree
+	}
+	tenant := def.Tenant
+	if tenant == "" {
+		tenant = engine.DefaultTenant
+	}
 	s.predMu.Lock()
 	defer s.predMu.Unlock()
 	for _, p := range s.preds {
-		if p.Name == def.Name {
+		if p.Name == def.Name && p.Tenant == def.Tenant {
 			if p == def {
 				return nil
 			}
 			return fmt.Errorf("predicate %q already registered with range [%d,%d]", p.Name, p.Min, p.Max)
 		}
 	}
-	if err := s.eng.RegisterPredicate(def.Name, rangePredicate(def.Min, def.Max)); err != nil {
+	if err := s.eng.Tenant(tenant).RegisterPredicate(def.Name, rangePredicate(def.Min, def.Max)); err != nil {
 		return err
 	}
 	s.preds = append(s.preds, def)
@@ -217,7 +318,12 @@ func (s *server) handlePredicates(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("max %d below min %d", req.Max, req.Min))
 		return
 	}
-	if err := s.registerRangePredicate(predicateDef{Name: req.Name, Min: req.Min, Max: req.Max}); err != nil {
+	t, err := s.scope(r, req.Tenant)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.registerRangePredicate(predicateDef{Tenant: t.Name(), Name: req.Name, Min: req.Min, Max: req.Max}); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -232,10 +338,11 @@ type sideReq struct {
 }
 
 type queryReq struct {
-	Name  string  `json:"name"`
-	Agg   string  `json:"agg"`
-	Left  sideReq `json:"left"`
-	Right sideReq `json:"right"`
+	Tenant string  `json:"tenant,omitempty"`
+	Name   string  `json:"name"`
+	Agg    string  `json:"agg"`
+	Left   sideReq `json:"left"`
+	Right  sideReq `json:"right"`
 }
 
 func (s *server) handleQueries(w http.ResponseWriter, r *http.Request) {
@@ -256,19 +363,27 @@ func (s *server) handleQueries(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown aggregate %q", req.Agg))
 			return
 		}
+		t, err := s.scope(r, req.Tenant)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
 		spec := engine.QuerySpec{
 			Name:  req.Name,
 			Agg:   agg,
 			Left:  engine.Side(req.Left),
 			Right: engine.Side(req.Right),
 		}
-		if err := s.eng.RegisterQuery(spec); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+		if err := t.RegisterQuery(spec); err != nil {
+			// A fresh synopsis pair over the memory quota arrives here and
+			// leaves as a 429.
+			writeEngineErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, map[string]any{"queries": s.eng.Queries()})
+		t, _ := s.scope(r, "")
+		writeJSON(w, http.StatusOK, map[string]any{"queries": t.Queries()})
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST or GET"))
 	}
@@ -284,7 +399,8 @@ func (s *server) handleQueryByName(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use DELETE"))
 		return
 	}
-	if err := s.eng.RemoveQuery(name); err != nil {
+	t, _ := s.scope(r, "")
+	if err := t.RemoveQuery(name); err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
@@ -292,6 +408,7 @@ func (s *server) handleQueryByName(w http.ResponseWriter, r *http.Request) {
 }
 
 type updateReq struct {
+	Tenant string `json:"tenant,omitempty"`
 	Stream string `json:"stream"`
 	Value  uint64 `json:"value"`
 	// Weight is a pointer so an omitted weight (nil → default 1, a bare
@@ -339,6 +456,25 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = []updateReq{one}
 	}
+	// One request updates one tenant: per-object tenant fields must agree
+	// with each other and with the URL scope, so a batch can never be
+	// half-applied across namespaces.
+	bodyTenant := ""
+	for _, u := range batch {
+		if u.Tenant == "" {
+			continue
+		}
+		if bodyTenant != "" && u.Tenant != bodyTenant {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("batch mixes tenants %q and %q; one tenant per request", bodyTenant, u.Tenant))
+			return
+		}
+		bodyTenant = u.Tenant
+	}
+	t, err := s.scope(r, bodyTenant)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	// Group the batch by stream (preserving per-stream order) and hand
 	// each group to the engine's batched ingest path, which amortizes
 	// locking and hash evaluation and, with -ingest.workers, applies
@@ -360,7 +496,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// whole request with the failing stream named, and no group — not even
 	// an earlier valid one — is applied.
 	for _, name := range order {
-		if err := s.eng.ValidateBatch(name, groups[name]); err != nil {
+		if err := t.ValidateBatch(name, groups[name]); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{
 				"error":  err.Error(),
 				"stream": name,
@@ -369,7 +505,19 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for _, name := range order {
-		if err := s.eng.IngestBatch(name, groups[name]); err != nil {
+		if err := t.IngestBatch(name, groups[name]); err != nil {
+			// The tenant's queue-share quota rejects admission here: 429 +
+			// Retry-After, same contract as global saturation. Earlier groups
+			// of the same request were admitted; the engine never
+			// half-applies a group.
+			if errors.Is(err, engine.ErrQuotaExceeded) {
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+				writeJSON(w, http.StatusTooManyRequests, map[string]string{
+					"error":  err.Error(),
+					"stream": name,
+				})
+				return
+			}
 			// Unreachable in practice (validated above); report faithfully.
 			writeJSON(w, http.StatusInternalServerError, map[string]string{
 				"error":  err.Error(),
@@ -383,7 +531,8 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 // handleFlush drains the ingest pipeline (a no-op when ingestion is
 // synchronous): once it returns, every previously accepted update is
-// folded into its synopses.
+// folded into its synopses. The pipeline is shared, so a tenant-scoped
+// flush drains everyone — flush is a barrier, not a privilege.
 func (s *server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
@@ -403,7 +552,8 @@ func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("missing ?query="))
 		return
 	}
-	ans, err := s.eng.Answer(name)
+	t, _ := s.scope(r, "")
+	ans, err := t.Answer(name)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -425,18 +575,23 @@ func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 
 // handleSnapshot serves the engine state (streams, queries, synopsis
 // counters) as the engine's JSON snapshot format — the checkpoint side
-// of a restart. The snapshot is buffered before any byte reaches the
-// client: a mid-serialization error therefore yields a clean 500 JSON
-// error instead of a 200 with a truncated body glued to an error
-// fragment (which a restoring client would read as a corrupt
+// of a restart. Tenant-scoped, it serves just that tenant's slice in
+// the single-tenant layout. The snapshot is buffered before any byte
+// reaches the client: a mid-serialization error therefore yields a
+// clean 500 JSON error instead of a 200 with a truncated body glued to
+// an error fragment (which a restoring client would read as a corrupt
 // checkpoint), and success responses carry an exact Content-Length.
 func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
+	produce := s.snapshot
+	if tenant := requestTenant(r); tenant != "" {
+		produce = s.eng.Tenant(tenant).Snapshot
+	}
 	var buf bytes.Buffer
-	if err := s.snapshot(&buf); err != nil {
+	if err := produce(&buf); err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -446,19 +601,55 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-// handleRestore loads a snapshot into the (empty) engine. Range
-// predicates registered via /predicates must be re-registered before
-// restoring a snapshot that references them.
+// handleRestore loads a snapshot into the (empty) engine, or — tenant-
+// scoped — a single-tenant snapshot into one empty tenant of a running
+// engine. Range predicates registered via /predicates must be
+// re-registered before restoring a snapshot that references them.
 func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
 	}
-	if err := s.eng.Restore(r.Body); err != nil {
+	var err error
+	if tenant := requestTenant(r); tenant != "" {
+		err = s.eng.Tenant(tenant).Restore(r.Body)
+	} else {
+		err = s.eng.Restore(r.Body)
+	}
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// quotaJSON is the wire form of a tenant quota (0 = unlimited).
+func quotaJSON(q engine.Quota) map[string]any {
+	return map[string]any{
+		"maxSynopsisWords":  q.MaxSynopsisWords,
+		"maxPendingUpdates": q.MaxPendingUpdates,
+	}
+}
+
+// tenantStatsJSON renders one tenant's stats slice.
+func tenantStatsJSON(st engine.TenantStats) map[string]any {
+	return map[string]any{
+		"tenant":       st.Tenant,
+		"streams":      st.Streams,
+		"queries":      st.Queries,
+		"synopses":     st.Synopses,
+		"synopsisRefs": st.SynopsisRefs,
+		"totalWords":   st.TotalWords,
+		"updateCounts": st.UpdateCounts,
+		"answerCache": map[string]int64{
+			"hits":   st.AnswerCacheHits,
+			"misses": st.AnswerCacheMisses,
+		},
+		"pendingUpdates": st.PendingUpdates,
+		"rejected":       st.Rejected,
+		"watches":        st.Watches,
+		"quota":          quotaJSON(st.Quota),
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -466,7 +657,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
+	// A tenant-scoped /stats is just that tenant's slice — what a tenant
+	// harness reconciles its own counters against.
+	if tenant := requestTenant(r); tenant != "" {
+		writeJSON(w, http.StatusOK, tenantStatsJSON(s.eng.Tenant(tenant).Stats()))
+		return
+	}
 	st := s.eng.Stats()
+	tenants := make(map[string]any, len(st.Tenants))
+	for name, ts := range st.Tenants {
+		tenants[name] = tenantStatsJSON(ts)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"streams":      st.Streams,
 		"queries":      st.Queries,
@@ -479,7 +680,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"hits":   st.AnswerCacheHits,
 			"misses": st.AnswerCacheMisses,
 		},
-		"ingest": s.eng.IngestStats(),
+		"watches": st.Watches,
+		"tenants": tenants,
+		"ingest":  s.eng.IngestStats(),
 		// saturated mirrors the admission probe behind /update's 429:
 		// true while at least one ingest queue is full.
 		"saturated": s.eng.IngestSaturated(),
@@ -493,19 +696,161 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// tenantReq configures one tenant: POST /tenants installs (or replaces)
+// its quota.
+type tenantReq struct {
+	Name  string       `json:"name"`
+	Quota engine.Quota `json:"quota"`
+}
+
+// handleTenants administers tenant namespaces: GET lists every tenant
+// with its quota, POST sets a tenant's quota (creating the namespace if
+// needed). Quotas take effect immediately; lowering one below current
+// usage keeps existing state and rejects further growth.
+func (s *server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		st := s.eng.Stats()
+		names := s.eng.TenantNames()
+		out := make([]map[string]any, 0, len(names))
+		for _, name := range names {
+			out = append(out, tenantStatsJSON(st.Tenants[name]))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"tenants": out})
+	case http.MethodPost:
+		var req tenantReq
+		if err := decode(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.eng.SetQuota(req.Name, req.Quota); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+	}
+}
+
+// watchReq registers one standing watch on a query of the scoped
+// tenant.
+type watchReq struct {
+	Tenant string `json:"tenant,omitempty"`
+	Query  string `json:"query"`
+	High   int64  `json:"high"`
+	Low    int64  `json:"low"`
+}
+
+// watchJSON renders one watch status, naming the alert state.
+func watchJSON(st monitor.WatchStatus) map[string]any {
+	state := "normal"
+	if st.State == monitor.Alert {
+		state = "alert"
+	}
+	return map[string]any{
+		"tenant":       st.Tenant,
+		"query":        st.Query,
+		"high":         st.High,
+		"low":          st.Low,
+		"state":        state,
+		"evaluations":  st.Evaluations,
+		"transitions":  st.Transitions,
+		"lastEstimate": st.LastEstimate,
+	}
+}
+
+// watchListJSON renders a watch status list (never null on the wire).
+func watchListJSON(sts []monitor.WatchStatus) []map[string]any {
+	out := make([]map[string]any, 0, len(sts))
+	for _, st := range sts {
+		out = append(out, watchJSON(st))
+	}
+	return out
+}
+
+// handleWatches manages the scoped tenant's standing watches: GET lists
+// them, POST registers one.
+func (s *server) handleWatches(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		t, _ := s.scope(r, "")
+		writeJSON(w, http.StatusOK, map[string]any{"watches": watchListJSON(t.Watches())})
+	case http.MethodPost:
+		var req watchReq
+		if err := decode(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		t, err := s.scope(r, req.Tenant)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := t.RegisterWatch(engine.WatchSpec{Query: req.Query, High: req.High, Low: req.Low}); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "ok"})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+	}
+}
+
+// handleWatchByName serves /watches/evaluate (POST: answer every watched
+// query of the scoped tenant and run the alert state machines) and
+// /watches/{query} (DELETE: drop one watch).
+func (s *server) handleWatchByName(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/watches/")
+	if name == "evaluate" {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		t, _ := s.scope(r, "")
+		sts, err := t.EvaluateWatches()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"watches": watchListJSON(sts)})
+		return
+	}
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing watch query name"))
+		return
+	}
+	if r.Method != http.MethodDelete {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use DELETE"))
+		return
+	}
+	t, _ := s.scope(r, "")
+	if err := t.RemoveWatch(name); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
 // sketchdCheckpoint is the payload sketchd stores inside the SKCP
 // checkpoint envelope (internal/checkpoint): the wire-expressible
 // predicate definitions plus the engine's own JSON snapshot. Carrying
 // the predicates makes the checkpoint self-contained — Engine.Restore
 // requires every predicate named by a snapshot to be re-registered
 // first, which a bare engine snapshot cannot do across a restart.
+//
+// Version 2 scopes each predicate to its tenant (predicateDef.Tenant,
+// empty = default) and may carry a multi-tenant engine snapshot.
+// Version 1 payloads — written before tenants existed — decode
+// identically with every predicate in the default tenant, and their
+// engine snapshot restores into the default tenant bit-identically.
 type sketchdCheckpoint struct {
 	Version    int             `json:"version"`
 	Predicates []predicateDef  `json:"predicates,omitempty"`
 	Engine     json.RawMessage `json:"engine"`
 }
 
-const sketchdCheckpointVersion = 1
+const sketchdCheckpointVersion = 2
 
 // writeCheckpoint produces the full server checkpoint payload. It is
 // handed to checkpoint.Manager.Save, which wraps it in the SKCP
@@ -526,14 +871,15 @@ func (s *server) writeCheckpoint(w io.Writer) error {
 }
 
 // readCheckpoint restores a checkpoint payload into the (empty) engine:
-// predicates first, then the engine snapshot.
+// predicates first, then the engine snapshot. Versions 1 (pre-tenant)
+// and 2 are both accepted.
 func (s *server) readCheckpoint(r io.Reader) error {
 	var cp sketchdCheckpoint
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&cp); err != nil {
 		return fmt.Errorf("decode checkpoint: %w", err)
 	}
-	if cp.Version != sketchdCheckpointVersion {
+	if cp.Version != 1 && cp.Version != sketchdCheckpointVersion {
 		return fmt.Errorf("unsupported sketchd checkpoint version %d", cp.Version)
 	}
 	for _, def := range cp.Predicates {

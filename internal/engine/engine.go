@@ -12,6 +12,17 @@
 // *distinct* synopses, not the number of queries. Reference counts
 // garbage-collect synopses when the last query using them is removed.
 //
+// Every piece of engine state is scoped to a tenant namespace: synopsis
+// identity is (tenant, stream, predicate, window, config), and streams,
+// predicates, queries, standing watches and the answer cache are all
+// keyed by (tenant, name). One engine therefore cheaply hosts thousands
+// of independent per-tenant registries — the skimmed-sketch synopses are
+// tiny linear summaries — behind a single shared ingest pipeline, with
+// per-tenant quotas on synopsis memory and queue share (Quota). The
+// un-suffixed Engine methods operate on the DefaultTenant namespace, so
+// single-tenant callers are unaffected; multi-tenant callers go through
+// the Tenant handle.
+//
 // All synopses default to one engine-wide sketch configuration (one
 // seed), which makes every pair of synopses join-compatible; a query may
 // override the configuration for both of its sides at the cost of a
@@ -20,7 +31,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"skimsketch/internal/core"
@@ -99,6 +109,9 @@ type Options struct {
 	// bit-identical for every setting (core's parallel-skim exactness
 	// guarantee), so this trades nothing but CPU for latency.
 	QueryWorkers int
+	// DefaultQuota is applied to every tenant that has no explicit
+	// SetQuota override. The zero value is unlimited.
+	DefaultQuota Quota
 }
 
 // Engine is the stream query processor. All methods are safe for
@@ -112,30 +125,44 @@ type Engine struct {
 	// read side while applying (their synopsis sets are disjoint, so
 	// sharing it is safe), and every reader or inline applier holds the
 	// write side — an inverted RWMutex.
-	applyMu    sync.RWMutex
-	defaults   core.Config
-	streams    map[string]*streamInfo
-	predicates map[string]Predicate
-	synopses   map[synKey]*synEntry
-	queries    map[string]*queryState
+	applyMu      sync.RWMutex
+	defaults     core.Config
+	defaultQuota Quota
+	tenants      map[string]*tenantState
+	streams      map[nsKey]*streamInfo
+	predicates   map[nsKey]Predicate
+	synopses     map[synKey]*synEntry
+	queries      map[nsKey]*queryState
 
 	// Batched-ingestion state (see ingest.go). nextSynID hands each
-	// synopsis its shard-hash identity; routes caches per-stream shard
-	// fan-out lists and is dropped whenever the synopsis set or the shard
-	// count changes.
+	// synopsis its shard-hash identity; routes caches per-(tenant, stream)
+	// shard fan-out lists and is dropped whenever the synopsis set or the
+	// shard count changes.
 	ing          *ingester
 	nextSynID    int
-	routes       map[string][][]*synEntry
+	routes       map[nsKey][][]*synEntry
 	routesShards int
 	metrics      *monitor.IngestMetrics
 
 	// Query-path state (see Answer): the number of estimation workers,
-	// the per-query answer cache keyed on the synopsis epochs captured at
-	// snapshot time, and its hit/miss counters. All guarded by e.mu.
+	// the per-(tenant, query) answer cache keyed on the synopsis epochs
+	// captured at snapshot time, and its hit/miss counters (engine-wide;
+	// each tenant also counts its own). All guarded by e.mu.
 	queryWorkers int
-	answers      map[string]cachedAnswer
+	answers      map[nsKey]cachedAnswer
 	cacheHits    int64
 	cacheMisses  int64
+
+	// watches is the tenant-keyed standing-query registry (watch.go);
+	// its own lock nests strictly inside e.mu.
+	watches *monitor.Registry
+}
+
+// nsKey scopes a name (stream, predicate, query, cached answer) to its
+// tenant namespace.
+type nsKey struct {
+	tenant string
+	name   string
 }
 
 // cachedAnswer memoizes one query's last computed answer together with
@@ -152,8 +179,11 @@ type streamInfo struct {
 	count  int64 // updates received
 }
 
-// synKey identifies a shareable synopsis.
+// synKey identifies a shareable synopsis. The tenant is part of the
+// identity: two tenants registering byte-identical sides get two
+// independent synopses, never a shared one.
 type synKey struct {
+	tenant        string
 	stream        string
 	predicate     string
 	windowLen     int64
@@ -166,6 +196,9 @@ type synEntry struct {
 	id   int // creation-order identity; shard = id mod workers
 	refs int
 	pred Predicate // nil means accept all
+	// allocWords is the synopsis' word footprint at creation, charged
+	// against (and refunded to) its tenant's memory quota.
+	allocWords int
 	// Exactly one of sketch/win is set.
 	sketch *core.HashSketch
 	win    *window.Window
@@ -246,67 +279,54 @@ func New(opts Options) (*Engine, error) {
 	if err := opts.SketchConfig.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: default sketch config: %w", err)
 	}
+	if err := opts.DefaultQuota.validate(); err != nil {
+		return nil, fmt.Errorf("engine: default quota: %w", err)
+	}
 	return &Engine{
 		defaults:     opts.SketchConfig,
-		streams:      make(map[string]*streamInfo),
-		predicates:   make(map[string]Predicate),
+		defaultQuota: opts.DefaultQuota,
+		tenants:      make(map[string]*tenantState),
+		streams:      make(map[nsKey]*streamInfo),
+		predicates:   make(map[nsKey]Predicate),
 		synopses:     make(map[synKey]*synEntry),
-		queries:      make(map[string]*queryState),
+		queries:      make(map[nsKey]*queryState),
 		metrics:      monitor.NewIngestMetrics(),
 		queryWorkers: opts.QueryWorkers,
-		answers:      make(map[string]cachedAnswer),
+		answers:      make(map[nsKey]cachedAnswer),
+		watches:      monitor.NewRegistry(),
 	}, nil
 }
 
-// DeclareStream registers a stream name with its value domain [0, domain).
+// DeclareStream registers a stream name with its value domain [0, domain)
+// in the default tenant.
 func (e *Engine) DeclareStream(name string, domain uint64) error {
-	if name == "" {
-		return fmt.Errorf("engine: stream name must be non-empty")
-	}
-	if domain == 0 {
-		return fmt.Errorf("engine: stream %q: domain must be positive", name)
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.streams[name]; ok {
-		return fmt.Errorf("engine: stream %q already declared", name)
-	}
-	e.streams[name] = &streamInfo{domain: domain}
-	return nil
+	return e.Tenant(DefaultTenant).DeclareStream(name, domain)
 }
 
-// RegisterPredicate names a selection predicate for use in query sides.
+// RegisterPredicate names a selection predicate for use in query sides of
+// the default tenant.
 func (e *Engine) RegisterPredicate(name string, p Predicate) error {
-	if name == "" || p == nil {
-		return fmt.Errorf("engine: predicate name and function must be non-empty")
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.predicates[name]; ok {
-		return fmt.Errorf("engine: predicate %q already registered", name)
-	}
-	e.predicates[name] = p
-	return nil
+	return e.Tenant(DefaultTenant).RegisterPredicate(name, p)
 }
 
-// RegisterQuery installs a continuous query. Synopses are created (or
-// shared) immediately; elements arriving before registration are not
-// reflected in the new synopses.
+// RegisterQuery installs a continuous query in the default tenant.
+// Synopses are created (or shared) immediately; elements arriving before
+// registration are not reflected in the new synopses.
 func (e *Engine) RegisterQuery(spec QuerySpec) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.registerLocked(spec)
+	return e.Tenant(DefaultTenant).RegisterQuery(spec)
 }
 
-// registerLocked is RegisterQuery with e.mu held (shared with Restore).
-func (e *Engine) registerLocked(spec QuerySpec) error {
+// registerLocked is tenant-scoped query registration with e.mu held
+// (shared with Restore).
+func (e *Engine) registerLocked(tenant string, spec QuerySpec) error {
 	if spec.Name == "" {
 		return fmt.Errorf("engine: query name must be non-empty")
 	}
 	if spec.Agg != Count && spec.Agg != Sum {
 		return fmt.Errorf("engine: query %q: unsupported aggregate %v", spec.Name, spec.Agg)
 	}
-	if _, ok := e.queries[spec.Name]; ok {
+	qk := nsKey{tenant, spec.Name}
+	if _, ok := e.queries[qk]; ok {
 		return fmt.Errorf("engine: query %q already registered", spec.Name)
 	}
 	cfg := e.defaults
@@ -316,11 +336,11 @@ func (e *Engine) registerLocked(spec QuerySpec) error {
 		}
 		cfg = *spec.SketchConfig
 	}
-	lDomain, err := e.sideDomain(spec.Left)
+	lDomain, err := e.sideDomain(tenant, spec.Left)
 	if err != nil {
 		return fmt.Errorf("engine: query %q: left: %w", spec.Name, err)
 	}
-	rDomain, err := e.sideDomain(spec.Right)
+	rDomain, err := e.sideDomain(tenant, spec.Right)
 	if err != nil {
 		return fmt.Errorf("engine: query %q: right: %w", spec.Name, err)
 	}
@@ -329,42 +349,44 @@ func (e *Engine) registerLocked(spec QuerySpec) error {
 		domain = rDomain
 	}
 
-	left, err := e.acquireSynopsis(spec.Left, cfg)
+	left, err := e.acquireSynopsis(tenant, spec.Left, cfg)
 	if err != nil {
 		return fmt.Errorf("engine: query %q: left: %w", spec.Name, err)
 	}
-	right, err := e.acquireSynopsis(spec.Right, cfg)
+	right, err := e.acquireSynopsis(tenant, spec.Right, cfg)
 	if err != nil {
 		e.release(left)
 		return fmt.Errorf("engine: query %q: right: %w", spec.Name, err)
 	}
-	e.queries[spec.Name] = &queryState{spec: spec, left: left, right: right, domain: domain}
+	e.queries[qk] = &queryState{spec: spec, left: left, right: right, domain: domain}
 	// A fresh synopsis pair restarts at epoch 0; drop any answer cached
 	// under this name so it cannot masquerade as current.
-	delete(e.answers, spec.Name)
+	delete(e.answers, qk)
 	return nil
 }
 
-func (e *Engine) sideDomain(s Side) (uint64, error) {
-	info, ok := e.streams[s.Stream]
+func (e *Engine) sideDomain(tenant string, s Side) (uint64, error) {
+	info, ok := e.streams[nsKey{tenant, s.Stream}]
 	if !ok {
 		return 0, fmt.Errorf("unknown stream %q", s.Stream)
 	}
 	return info.domain, nil
 }
 
-// acquireSynopsis returns a shared or fresh synopsis for the side.
-// Callers hold e.mu.
-func (e *Engine) acquireSynopsis(s Side, cfg core.Config) (*synEntry, error) {
+// acquireSynopsis returns a shared or fresh synopsis for the side,
+// charging a fresh one against the tenant's memory quota. Callers hold
+// e.mu.
+func (e *Engine) acquireSynopsis(tenant string, s Side, cfg core.Config) (*synEntry, error) {
 	var pred Predicate
 	if s.Predicate != "" {
-		p, ok := e.predicates[s.Predicate]
+		p, ok := e.predicates[nsKey{tenant, s.Predicate}]
 		if !ok {
 			return nil, fmt.Errorf("unknown predicate %q", s.Predicate)
 		}
 		pred = p
 	}
 	key := synKey{
+		tenant:        tenant,
 		stream:        s.Stream,
 		predicate:     s.Predicate,
 		windowLen:     s.WindowLen,
@@ -376,8 +398,6 @@ func (e *Engine) acquireSynopsis(s Side, cfg core.Config) (*synEntry, error) {
 		return entry, nil
 	}
 	entry := &synEntry{key: key, id: e.nextSynID, refs: 1, pred: pred}
-	e.nextSynID++
-	e.routes = nil // the synopsis set is changing
 	if s.WindowLen > 0 {
 		w, err := window.New(s.WindowLen, s.WindowBuckets, cfg)
 		if err != nil {
@@ -394,6 +414,15 @@ func (e *Engine) acquireSynopsis(s Side, cfg core.Config) (*synEntry, error) {
 		}
 		entry.sketch = sk
 	}
+	entry.allocWords = entry.words()
+	ts := e.tenantLocked(tenant)
+	if max := ts.quota.MaxSynopsisWords; max > 0 && ts.words+entry.allocWords > max {
+		return nil, fmt.Errorf("engine: tenant %q: synopsis memory %d + %d words over quota %d: %w",
+			tenant, ts.words, entry.allocWords, max, ErrQuotaExceeded)
+	}
+	ts.words += entry.allocWords
+	e.nextSynID++
+	e.routes = nil // the synopsis set is changing
 	e.synopses[key] = entry
 	return entry, nil
 }
@@ -402,79 +431,59 @@ func (e *Engine) release(entry *synEntry) {
 	entry.refs--
 	if entry.refs <= 0 {
 		delete(e.synopses, entry.key)
+		e.tenantLocked(entry.key.tenant).words -= entry.allocWords
 		e.routes = nil
 	}
 }
 
-// RemoveQuery deregisters a query, releasing (and possibly freeing) its
-// synopses.
+// RemoveQuery deregisters a default-tenant query, releasing (and possibly
+// freeing) its synopses.
 func (e *Engine) RemoveQuery(name string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	q, ok := e.queries[name]
-	if !ok {
-		return fmt.Errorf("engine: unknown query %q", name)
-	}
-	e.release(q.left)
-	e.release(q.right)
-	delete(e.queries, name)
-	delete(e.answers, name)
-	return nil
+	return e.Tenant(DefaultTenant).RemoveQuery(name)
 }
 
-// Update routes one stream element to every synopsis attached to the
-// stream. For SUM queries the weight carries the measure; for plain
-// COUNT streams use weight ±1.
+// Update routes one default-tenant stream element to every synopsis
+// attached to the stream. For SUM queries the weight carries the measure;
+// for plain COUNT streams use weight ±1.
 func (e *Engine) Update(streamName string, value uint64, weight int64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	info, ok := e.streams[streamName]
-	if !ok {
-		return fmt.Errorf("engine: unknown stream %q", streamName)
-	}
-	if value >= info.domain {
-		return fmt.Errorf("engine: stream %q: value %d outside domain [0,%d)", streamName, value, info.domain)
-	}
-	info.count++
-	e.metrics.UpdatesEnqueued.Add(1)
-	// Take the exclusive apply lock so a single update is serialized with
-	// both the shard workers and the readers.
-	e.applyMu.Lock()
-	for _, entry := range e.synopses {
-		if entry.key.stream == streamName {
-			entry.update(value, weight)
-		}
-	}
-	e.applyMu.Unlock()
-	e.metrics.UpdatesApplied.Add(1)
-	return nil
+	return e.Tenant(DefaultTenant).Update(streamName, value, weight)
 }
 
-// Answer serves the current approximate answer of a registered query. If
-// the ingestion pipeline is running it is drained first, so the answer
-// reflects every batch enqueued before the call.
+// Answer serves the current approximate answer of a registered
+// default-tenant query. If the ingestion pipeline is running it is
+// drained first, so the answer reflects every batch enqueued before the
+// call.
 //
 // The quiesce/apply lock is held only long enough to clone the two
 // synopses and capture their update epochs; the estimation itself — the
 // expensive O(domain·tables) skim scan — runs outside every lock, so
 // ingestion proceeds concurrently with a long-running Answer. If both
 // epochs match a previously computed answer, that answer is returned
-// without re-estimating (the per-query answer cache); any update routed
-// to either synopsis bumps its epoch and so invalidates the entry.
+// without re-estimating (the per-(tenant, query) answer cache); any
+// update routed to either synopsis bumps its epoch and so invalidates
+// the entry.
 func (e *Engine) Answer(name string) (Answer, error) {
+	return e.Tenant(DefaultTenant).Answer(name)
+}
+
+func (e *Engine) answerTenant(tenant, name string) (Answer, error) {
 	release := e.readQuiesce()
-	q, ok := e.queries[name]
+	qk := nsKey{tenant, name}
+	q, ok := e.queries[qk]
 	if !ok {
 		release()
 		return Answer{}, fmt.Errorf("engine: unknown query %q", name)
 	}
+	ts := e.tenantLocked(tenant)
 	le, re := q.left.epoch, q.right.epoch
-	if c, ok := e.answers[name]; ok && c.leftEpoch == le && c.rightEpoch == re {
+	if c, ok := e.answers[qk]; ok && c.leftEpoch == le && c.rightEpoch == re {
 		e.cacheHits++
+		ts.cacheHits++
 		release()
 		return c.ans, nil
 	}
 	e.cacheMisses++
+	ts.cacheMisses++
 	fs, gs := q.left.snapshot(), q.right.snapshot()
 	domain, workers, agg := q.domain, e.queryWorkers, q.spec.Agg
 	release()
@@ -489,27 +498,34 @@ func (e *Engine) Answer(name string) (Answer, error) {
 	// registered one — a concurrent Remove+Register must not resurrect an
 	// answer computed over the old synopses.
 	e.mu.Lock()
-	if cur, ok := e.queries[name]; ok && cur == q {
-		e.answers[name] = cachedAnswer{leftEpoch: le, rightEpoch: re, ans: ans}
+	if cur, ok := e.queries[qk]; ok && cur == q {
+		e.answers[qk] = cachedAnswer{leftEpoch: le, rightEpoch: re, ans: ans}
 	}
 	e.mu.Unlock()
 	return ans, nil
 }
 
-// Stats summarizes the engine state.
+// Stats summarizes the engine state across every tenant.
 type Stats struct {
 	Streams      int
 	Queries      int
 	Synopses     int
 	SynopsisRefs int // total query-side references; > Synopses means sharing
 	TotalWords   int
+	// UpdateCounts is keyed by bare stream name for the default tenant
+	// (unchanged from the single-tenant engine) and by "tenant/stream"
+	// for every other tenant.
 	UpdateCounts map[string]int64
 	// QueryWorkers is the configured estimation parallelism (Options).
 	QueryWorkers int
 	// AnswerCacheHits/Misses count Answer calls served from the epoch-
-	// keyed answer cache versus freshly estimated.
+	// keyed answer cache versus freshly estimated, summed over tenants.
 	AnswerCacheHits   int64
 	AnswerCacheMisses int64
+	// Watches is the number of standing watches across all tenants.
+	Watches int
+	// Tenants breaks the same figures down per tenant namespace.
+	Tenants map[string]TenantStats
 }
 
 // Stats reports synopsis sharing and memory usage. Like Answer, it
@@ -524,37 +540,52 @@ func (e *Engine) Stats() Stats {
 		QueryWorkers:      e.queryWorkers,
 		AnswerCacheHits:   e.cacheHits,
 		AnswerCacheMisses: e.cacheMisses,
+		Watches:           e.watches.Len(),
+		Tenants:           make(map[string]TenantStats),
 	}
-	for name, info := range e.streams {
+	for key, info := range e.streams {
+		name := key.name
+		if key.tenant != DefaultTenant {
+			name = key.tenant + "/" + key.name
+		}
 		st.UpdateCounts[name] = info.count
 	}
 	for _, entry := range e.synopses {
 		st.SynopsisRefs += entry.refs
 		st.TotalWords += entry.words()
 	}
+	for name := range e.tenantNamesLocked() {
+		st.Tenants[name] = e.tenantStatsLocked(name)
+	}
 	return st
 }
 
-// Queries returns the registered query names, sorted.
+// Queries returns the default tenant's registered query names, sorted.
 func (e *Engine) Queries() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	names := make([]string, 0, len(e.queries))
-	for n := range e.queries {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return e.Tenant(DefaultTenant).Queries()
 }
 
-// Streams returns the declared stream names, sorted.
+// Streams returns the default tenant's declared stream names, sorted.
 func (e *Engine) Streams() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	names := make([]string, 0, len(e.streams))
-	for n := range e.streams {
-		names = append(names, n)
+	return e.Tenant(DefaultTenant).Streams()
+}
+
+// tenantNamesLocked is the set of tenants with any state: an explicit
+// quota/counter record, or a stream, predicate, query or watch scoped to
+// them. Callers hold e.mu.
+func (e *Engine) tenantNamesLocked() map[string]struct{} {
+	names := make(map[string]struct{}, len(e.tenants))
+	for name := range e.tenants {
+		names[name] = struct{}{}
 	}
-	sort.Strings(names)
+	for key := range e.streams {
+		names[key.tenant] = struct{}{}
+	}
+	for key := range e.predicates {
+		names[key.tenant] = struct{}{}
+	}
+	for _, t := range e.watches.Tenants() {
+		names[t] = struct{}{}
+	}
 	return names
 }

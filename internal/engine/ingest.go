@@ -18,6 +18,12 @@ import (
 // concurrently under a shared (read) apply lock; readers take the
 // exclusive side, so a query never observes a half-applied batch.
 //
+// The pipeline is shared by every tenant: batches are routed on
+// (tenant, stream) and a tenant's queue share is metered by its pending-
+// update count, admission-checked against Quota.MaxPendingUpdates — so
+// thousands of small tenants ride one worker pool without one of them
+// starving the rest.
+//
 // Consistency contract: the fan-out of one batch happens atomically under
 // ing.fanMu (read side). Readers quiesce by taking ing.fanMu exclusively,
 // draining every worker queue with a barrier, and only then reading under
@@ -58,9 +64,12 @@ type ingestItem struct {
 	entries []*synEntry
 	batch   []stream.Update
 	// count is the number of elements this item accounts for in the
-	// applied-updates metric; only one shard of a fan-out carries it, so
-	// elements are counted once however many synopses they reach.
-	count   int
+	// applied-updates metric and the owner tenant's pending gauge; only
+	// one shard of a fan-out carries it, so elements are counted once
+	// however many synopses they reach.
+	count int
+	// tenant is the pending-gauge owner for count-carrying items.
+	tenant  *tenantState
 	barrier *sync.WaitGroup
 }
 
@@ -138,6 +147,7 @@ func (ing *ingester) worker(e *Engine, ch chan ingestItem) {
 		e.metrics.QueueDepth.Add(-1)
 		if item.count > 0 {
 			e.metrics.UpdatesApplied.Add(int64(item.count))
+			item.tenant.pending.Add(-int64(item.count))
 		}
 		e.metrics.Batches.Add(1)
 	}
@@ -157,8 +167,9 @@ func (ing *ingester) barrierLocked() {
 
 // enqueue fans the batch out to the shards named by route, splitting it
 // into BatchSize chunks. If the pipeline was stopped between routing and
-// enqueueing, it falls back to a synchronous apply.
-func (ing *ingester) enqueue(e *Engine, route [][]*synEntry, updates []stream.Update) {
+// enqueueing, it falls back to a synchronous apply (settling the
+// tenant's pending gauge itself).
+func (ing *ingester) enqueue(e *Engine, ts *tenantState, route [][]*synEntry, updates []stream.Update) {
 	ing.fanMu.RLock()
 	defer ing.fanMu.RUnlock()
 	if ing.closed {
@@ -170,6 +181,7 @@ func (ing *ingester) enqueue(e *Engine, route [][]*synEntry, updates []stream.Up
 		}
 		e.applyMu.Unlock()
 		e.metrics.UpdatesApplied.Add(int64(len(updates)))
+		ts.pending.Add(-int64(len(updates)))
 		e.metrics.Batches.Add(1)
 		return
 	}
@@ -188,22 +200,37 @@ func (ing *ingester) enqueue(e *Engine, route [][]*synEntry, updates []stream.Up
 			item := ingestItem{entries: entries, batch: chunk}
 			if !counted {
 				item.count = len(chunk)
+				item.tenant = ts
 				counted = true
 			}
 			e.metrics.QueueDepth.Add(1)
 			ing.chans[shard] <- item
 		}
+		if !counted {
+			// No synopsis anywhere listens to this stream: nothing will
+			// apply the chunk, so settle its pending share immediately
+			// (the applied-updates metric keeps its historical meaning of
+			// "folded into at least one synopsis").
+			ts.pending.Add(-int64(len(chunk)))
+		}
 	}
 }
 
-// ValidateBatch checks that a batch could be ingested — the stream is
-// declared and every value lies inside its domain — without applying
-// anything. Callers staging a multi-stream request can validate every
-// group first and only then apply, making the whole request atomic.
+// ValidateBatch checks that a default-tenant batch could be ingested —
+// the stream is declared and every value lies inside its domain —
+// without applying anything. Callers staging a multi-stream request can
+// validate every group first and only then apply, making the whole
+// request atomic.
 func (e *Engine) ValidateBatch(streamName string, updates []stream.Update) error {
+	return e.Tenant(DefaultTenant).ValidateBatch(streamName, updates)
+}
+
+// ValidateBatch is Engine.ValidateBatch scoped to this tenant.
+func (t *Tenant) ValidateBatch(streamName string, updates []stream.Update) error {
+	e := t.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	info, ok := e.streams[streamName]
+	info, ok := e.streams[nsKey{t.name, streamName}]
 	if !ok {
 		return fmt.Errorf("engine: unknown stream %q", streamName)
 	}
@@ -213,20 +240,30 @@ func (e *Engine) ValidateBatch(streamName string, updates []stream.Update) error
 	return nil
 }
 
-// IngestBatch validates and ingests a batch of updates for one stream.
-// With a running pipeline (StartIngest) the batch is enqueued to the
-// shard workers and applied asynchronously — a following Flush, Answer,
-// Snapshot or Stats call observes it; a full queue blocks (backpressure).
-// Without a pipeline it applies synchronously before returning. In both
-// modes the result is bit-for-bit identical to calling Update once per
-// element in order. Validation is synchronous: on error the whole batch
-// is rejected and nothing is applied.
+// IngestBatch validates and ingests a batch of default-tenant updates
+// for one stream. With a running pipeline (StartIngest) the batch is
+// enqueued to the shard workers and applied asynchronously — a following
+// Flush, Answer, Snapshot or Stats call observes it; a full queue blocks
+// (backpressure). Without a pipeline it applies synchronously before
+// returning. In both modes the result is bit-for-bit identical to
+// calling Update once per element in order. Validation is synchronous:
+// on error the whole batch is rejected and nothing is applied.
 func (e *Engine) IngestBatch(streamName string, updates []stream.Update) error {
+	return e.Tenant(DefaultTenant).IngestBatch(streamName, updates)
+}
+
+// IngestBatch is Engine.IngestBatch scoped to this tenant. On top of the
+// validation contract it enforces the tenant's queue-share quota: with a
+// running pipeline, a batch that would push the tenant's pending-update
+// count past Quota.MaxPendingUpdates is rejected with an error wrapping
+// ErrQuotaExceeded, and nothing is applied or enqueued.
+func (t *Tenant) IngestBatch(streamName string, updates []stream.Update) error {
 	if len(updates) == 0 {
 		return nil
 	}
+	e := t.e
 	e.mu.Lock()
-	info, ok := e.streams[streamName]
+	info, ok := e.streams[nsKey{t.name, streamName}]
 	if !ok {
 		e.mu.Unlock()
 		return fmt.Errorf("engine: unknown stream %q", streamName)
@@ -240,7 +277,19 @@ func (e *Engine) IngestBatch(streamName string, updates []stream.Update) error {
 	if ing != nil {
 		shards = len(ing.chans)
 	}
-	route := e.routeLocked(streamName, shards)
+	ts := e.tenantLocked(t.name)
+	if ing != nil {
+		if max := ts.quota.MaxPendingUpdates; max > 0 {
+			if pend := ts.pending.Load(); pend+int64(len(updates)) > max {
+				ts.rejected.Add(int64(len(updates)))
+				e.metrics.Rejected.Add(int64(len(updates)))
+				e.mu.Unlock()
+				return fmt.Errorf("engine: tenant %q: %d pending + %d batched updates over queue-share quota %d: %w",
+					t.name, pend, len(updates), max, ErrQuotaExceeded)
+			}
+		}
+	}
+	route := e.routeLocked(t.name, streamName, shards)
 	info.count += int64(len(updates))
 	e.metrics.UpdatesEnqueued.Add(int64(len(updates)))
 	if ing == nil {
@@ -256,8 +305,9 @@ func (e *Engine) IngestBatch(streamName string, updates []stream.Update) error {
 		e.mu.Unlock()
 		return nil
 	}
+	ts.pending.Add(int64(len(updates)))
 	e.mu.Unlock()
-	ing.enqueue(e, route, updates)
+	ing.enqueue(e, ts, route, updates)
 	return nil
 }
 
@@ -278,26 +328,27 @@ func (e *Engine) Flush() {
 	ing.fanMu.Unlock()
 }
 
-// routeLocked returns the per-shard synopsis lists for a stream,
-// computing and caching them on first use. The cache is invalidated
-// whenever the synopsis set or the shard count changes. Callers hold
-// e.mu.
-func (e *Engine) routeLocked(streamName string, shards int) [][]*synEntry {
+// routeLocked returns the per-shard synopsis lists for a tenant's
+// stream, computing and caching them on first use. The cache is
+// invalidated whenever the synopsis set or the shard count changes.
+// Callers hold e.mu.
+func (e *Engine) routeLocked(tenant, streamName string, shards int) [][]*synEntry {
 	if e.routes == nil || e.routesShards != shards {
-		e.routes = make(map[string][][]*synEntry)
+		e.routes = make(map[nsKey][][]*synEntry)
 		e.routesShards = shards
 	}
-	if r, ok := e.routes[streamName]; ok {
+	key := nsKey{tenant, streamName}
+	if r, ok := e.routes[key]; ok {
 		return r
 	}
 	r := make([][]*synEntry, shards)
 	for _, en := range e.synopses {
-		if en.key.stream == streamName {
+		if en.key.tenant == tenant && en.key.stream == streamName {
 			s := en.id % shards
 			r[s] = append(r[s], en)
 		}
 	}
-	e.routes[streamName] = r
+	e.routes[key] = r
 	return r
 }
 

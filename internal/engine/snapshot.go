@@ -4,22 +4,38 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"skimsketch/internal/core"
+	"skimsketch/internal/monitor"
 	"skimsketch/internal/window"
 )
 
 // Snapshot/Restore persist the engine — declared streams, registered
-// queries, and every synopsis' counters — so a stream processor can
-// restart without losing its summaries. The container is JSON (sketch
-// blobs are base64-encoded by encoding/json); the sketch payloads are
-// the same binary formats used everywhere else.
+// queries, standing watches, tenant quotas, and every synopsis'
+// counters — so a stream processor can restart without losing its
+// summaries. The container is JSON (sketch blobs are base64-encoded by
+// encoding/json); the sketch payloads are the same binary formats used
+// everywhere else.
+//
+// Two snapshot versions exist. Version 1 is the pre-tenant layout: one
+// flat set of streams/queries/synopses. Version 2 nests one such slice
+// per tenant namespace plus quotas and watches. Snapshot writes version
+// 1 whenever the engine state is expressible in it (only the default
+// tenant, no quotas, no watches) so single-tenant deployments keep
+// byte-identical snapshots across the multi-tenant refactor; Restore
+// accepts both, loading a version-1 snapshot into the default tenant
+// bit-identically.
 //
 // Predicates are functions and cannot be serialized: Restore requires
 // every predicate named by the snapshot to have been re-registered on
-// the receiving engine first, and fails otherwise.
+// the receiving engine (under the same tenant) first, and fails
+// otherwise.
 
-const snapshotVersion = 1
+const (
+	snapshotVersionV1 = 1
+	snapshotVersionV2 = 2
+)
 
 type streamSnap struct {
 	Domain uint64 `json:"domain"`
@@ -50,39 +66,90 @@ type synSnap struct {
 	Blob          []byte      `json:"blob"`
 }
 
-type snapshot struct {
-	Version  int                   `json:"version"`
-	Defaults core.Config           `json:"defaults"`
-	Streams  map[string]streamSnap `json:"streams"`
-	Queries  []querySnap           `json:"queries"`
-	Synopses []synSnap             `json:"synopses"`
+type watchSnap struct {
+	Query string `json:"query"`
+	High  int64  `json:"high"`
+	Low   int64  `json:"low"`
+	Alert bool   `json:"alert,omitempty"`
 }
 
-// Snapshot writes the engine state to w. With the ingestion pipeline
-// running, the pipeline is drained and held quiescent for the duration of
-// the write, so the snapshot observes every enqueued batch applied in
-// full — never a batch applied to one synopsis but not another.
-func (e *Engine) Snapshot(w io.Writer) error {
-	defer e.readQuiesce()()
+// tenantSnap is one tenant's slice of a version-2 snapshot — exactly the
+// fields a version-1 snapshot holds at its top level, plus the quota and
+// the standing watches.
+type tenantSnap struct {
+	Quota    Quota                 `json:"quota"`
+	Streams  map[string]streamSnap `json:"streams"`
+	Queries  []querySnap           `json:"queries,omitempty"`
+	Synopses []synSnap             `json:"synopses,omitempty"`
+	Watches  []watchSnap           `json:"watches,omitempty"`
+}
 
-	snap := snapshot{
-		Version:  snapshotVersion,
-		Defaults: e.defaults,
-		Streams:  make(map[string]streamSnap, len(e.streams)),
+type snapshot struct {
+	Version  int         `json:"version"`
+	Defaults core.Config `json:"defaults"`
+	// Version-1 (single-tenant) body: the default tenant's slice.
+	Streams  map[string]streamSnap `json:"streams,omitempty"`
+	Queries  []querySnap           `json:"queries,omitempty"`
+	Synopses []synSnap             `json:"synopses,omitempty"`
+	// Version-2 body: one slice per tenant namespace.
+	DefaultQuota *Quota                `json:"defaultQuota,omitempty"`
+	Tenants      map[string]tenantSnap `json:"tenants,omitempty"`
+}
+
+// v1ExpressibleLocked reports whether the engine state round-trips
+// through the version-1 (pre-tenant) snapshot layout: only the default
+// tenant exists, with no quota and no watches. Callers hold e.mu.
+func (e *Engine) v1ExpressibleLocked() bool {
+	if e.defaultQuota != (Quota{}) || e.watches.Len() != 0 {
+		return false
 	}
-	for name, info := range e.streams {
-		snap.Streams[name] = streamSnap{Domain: info.domain, Count: info.count}
+	for name, ts := range e.tenants {
+		if name != DefaultTenant || ts.quota != (Quota{}) {
+			return false
+		}
 	}
-	for name, q := range e.queries {
-		snap.Queries = append(snap.Queries, querySnap{
-			Name:   name,
+	for key := range e.streams {
+		if key.tenant != DefaultTenant {
+			return false
+		}
+	}
+	for key := range e.predicates {
+		if key.tenant != DefaultTenant {
+			return false
+		}
+	}
+	return true
+}
+
+// tenantSliceLocked assembles one tenant's streams/queries/synopses/
+// watches. Callers hold the quiesced read locks.
+func (e *Engine) tenantSliceLocked(tenant string) (tenantSnap, error) {
+	slice := tenantSnap{Streams: make(map[string]streamSnap)}
+	if ts, ok := e.tenants[tenant]; ok {
+		slice.Quota = ts.quota
+	}
+	for key, info := range e.streams {
+		if key.tenant == tenant {
+			slice.Streams[key.name] = streamSnap{Domain: info.domain, Count: info.count}
+		}
+	}
+	for key, q := range e.queries {
+		if key.tenant != tenant {
+			continue
+		}
+		slice.Queries = append(slice.Queries, querySnap{
+			Name:   key.name,
 			Agg:    int(q.spec.Agg),
 			Left:   sideSnap(q.spec.Left),
 			Right:  sideSnap(q.spec.Right),
 			Config: q.spec.SketchConfig,
 		})
 	}
+	sort.Slice(slice.Queries, func(i, j int) bool { return slice.Queries[i].Name < slice.Queries[j].Name })
 	for key, entry := range e.synopses {
+		if key.tenant != tenant {
+			continue
+		}
 		var blob []byte
 		var err error
 		if entry.win != nil {
@@ -91,9 +158,9 @@ func (e *Engine) Snapshot(w io.Writer) error {
 			blob, err = entry.sketch.MarshalBinary()
 		}
 		if err != nil {
-			return fmt.Errorf("engine: snapshot: %w", err)
+			return tenantSnap{}, fmt.Errorf("engine: snapshot: %w", err)
 		}
-		snap.Synopses = append(snap.Synopses, synSnap{
+		slice.Synopses = append(slice.Synopses, synSnap{
 			Stream:        key.stream,
 			Predicate:     key.predicate,
 			WindowLen:     key.windowLen,
@@ -102,20 +169,90 @@ func (e *Engine) Snapshot(w io.Writer) error {
 			Blob:          blob,
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&snap)
+	for _, w := range e.watches.List(tenant) {
+		slice.Watches = append(slice.Watches, watchSnap{
+			Query: w.Query, High: w.High, Low: w.Low, Alert: w.State == monitor.Alert,
+		})
+	}
+	return slice, nil
+}
+
+// Snapshot writes the engine state to w. With the ingestion pipeline
+// running, the pipeline is drained and held quiescent for the duration of
+// the write, so the snapshot observes every enqueued batch applied in
+// full — never a batch applied to one synopsis but not another.
+//
+// The output is the version-1 layout when the state is expressible in it
+// (single default tenant, no quotas or watches) and version 2 otherwise.
+func (e *Engine) Snapshot(w io.Writer) error {
+	defer e.readQuiesce()()
+
+	if e.v1ExpressibleLocked() {
+		slice, err := e.tenantSliceLocked(DefaultTenant)
+		if err != nil {
+			return err
+		}
+		return json.NewEncoder(w).Encode(&snapshot{
+			Version:  snapshotVersionV1,
+			Defaults: e.defaults,
+			Streams:  slice.Streams,
+			Queries:  slice.Queries,
+			Synopses: slice.Synopses,
+		})
+	}
+
+	snap := snapshot{
+		Version:  snapshotVersionV2,
+		Defaults: e.defaults,
+		Tenants:  make(map[string]tenantSnap),
+	}
+	if e.defaultQuota != (Quota{}) {
+		q := e.defaultQuota
+		snap.DefaultQuota = &q
+	}
+	for tenant := range e.tenantNamesLocked() {
+		slice, err := e.tenantSliceLocked(tenant)
+		if err != nil {
+			return err
+		}
+		snap.Tenants[tenant] = slice
+	}
+	return json.NewEncoder(w).Encode(&snap)
+}
+
+// Snapshot writes this tenant's slice of the engine — its streams,
+// queries, synopsis counters and watches — as a version-1 (tenant-free)
+// snapshot, restorable into any empty tenant via Tenant.Restore.
+func (t *Tenant) Snapshot(w io.Writer) error {
+	e := t.e
+	defer e.readQuiesce()()
+	slice, err := e.tenantSliceLocked(t.name)
+	if err != nil {
+		return err
+	}
+	snap := snapshot{
+		Version:  snapshotVersionV1,
+		Defaults: e.defaults,
+		Streams:  slice.Streams,
+		Queries:  slice.Queries,
+		Synopses: slice.Synopses,
+	}
+	if len(slice.Watches) != 0 {
+		return fmt.Errorf("engine: snapshot: tenant %q has standing watches, which the single-tenant layout cannot carry; snapshot the whole engine instead", t.name)
+	}
+	return json.NewEncoder(w).Encode(&snap)
 }
 
 // Restore loads a snapshot into e, which must have no streams or queries
-// yet (predicates must already be re-registered). On success the engine
-// answers queries exactly as the snapshotted engine did.
+// in any tenant yet (predicates must already be re-registered under
+// their tenants). A version-1 snapshot restores into the default tenant
+// bit-identically; a version-2 snapshot restores every tenant slice,
+// quotas and watches included. On success the engine answers queries
+// exactly as the snapshotted engine did.
 func (e *Engine) Restore(r io.Reader) error {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("engine: restore: %w", err)
-	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("engine: restore: unsupported snapshot version %d", snap.Version)
 	}
 
 	e.mu.Lock()
@@ -126,26 +263,118 @@ func (e *Engine) Restore(r io.Reader) error {
 	e.routes = nil
 	// Restored synopses restart at epoch 0: any answers cached before the
 	// restore would collide with the fresh epochs, so drop them all.
-	e.answers = make(map[string]cachedAnswer)
-	for _, q := range snap.Queries {
+	e.answers = make(map[nsKey]cachedAnswer)
+
+	switch snap.Version {
+	case snapshotVersionV1:
+		e.defaults = snap.Defaults
+		return e.restoreTenantLocked(DefaultTenant, tenantSnap{
+			Streams:  snap.Streams,
+			Queries:  snap.Queries,
+			Synopses: snap.Synopses,
+		})
+	case snapshotVersionV2:
+		e.defaults = snap.Defaults
+		if snap.DefaultQuota != nil {
+			if err := snap.DefaultQuota.validate(); err != nil {
+				return fmt.Errorf("engine: restore: default quota: %w", err)
+			}
+			e.defaultQuota = *snap.DefaultQuota
+		}
+		tenants := make([]string, 0, len(snap.Tenants))
+		for tenant := range snap.Tenants {
+			tenants = append(tenants, tenant)
+		}
+		sort.Strings(tenants)
+		for _, tenant := range tenants {
+			if err := validTenantName(tenant); err != nil {
+				return fmt.Errorf("engine: restore: %w", err)
+			}
+			if err := e.restoreTenantLocked(tenant, snap.Tenants[tenant]); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("engine: restore: unsupported snapshot version %d", snap.Version)
+	}
+}
+
+// Restore loads a version-1 (single-tenant layout) snapshot into this
+// tenant, which must be empty. The snapshot's default sketch config must
+// match the engine's, since queries without a per-query override rebuild
+// their synopses from it.
+func (t *Tenant) Restore(r io.Reader) error {
+	if err := validTenantName(t.name); err != nil {
+		return err
+	}
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("engine: restore: %w", err)
+	}
+	if snap.Version != snapshotVersionV1 {
+		return fmt.Errorf("engine: restore: tenant restore accepts single-tenant (version 1) snapshots, got version %d; POST whole-engine snapshots to the unscoped restore", snap.Version)
+	}
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if snap.Defaults != e.defaults {
+		return fmt.Errorf("engine: restore: snapshot default sketch config %+v differs from engine's %+v", snap.Defaults, e.defaults)
+	}
+	for key := range e.streams {
+		if key.tenant == t.name {
+			return fmt.Errorf("engine: restore requires an empty tenant %q (no streams or queries)", t.name)
+		}
+	}
+	for key := range e.queries {
+		if key.tenant == t.name {
+			return fmt.Errorf("engine: restore requires an empty tenant %q (no streams or queries)", t.name)
+		}
+	}
+	for key := range e.answers {
+		if key.tenant == t.name {
+			delete(e.answers, key)
+		}
+	}
+	e.routes = nil
+	return e.restoreTenantLocked(t.name, tenantSnap{
+		Streams:  snap.Streams,
+		Queries:  snap.Queries,
+		Synopses: snap.Synopses,
+	})
+}
+
+// restoreTenantLocked loads one tenant slice: quota first (so synopsis
+// rebuilding is charged against the restored quota), then streams,
+// queries (rebuilding empty shared synopses), synopsis counters, and
+// watches. Callers hold e.mu.
+func (e *Engine) restoreTenantLocked(tenant string, slice tenantSnap) error {
+	for _, q := range slice.Queries {
 		if q.Left.Predicate != "" {
-			if _, ok := e.predicates[q.Left.Predicate]; !ok {
+			if _, ok := e.predicates[nsKey{tenant, q.Left.Predicate}]; !ok {
 				return fmt.Errorf("engine: restore: predicate %q must be re-registered first", q.Left.Predicate)
 			}
 		}
 		if q.Right.Predicate != "" {
-			if _, ok := e.predicates[q.Right.Predicate]; !ok {
+			if _, ok := e.predicates[nsKey{tenant, q.Right.Predicate}]; !ok {
 				return fmt.Errorf("engine: restore: predicate %q must be re-registered first", q.Right.Predicate)
 			}
 		}
 	}
 
-	e.defaults = snap.Defaults
-	for name, s := range snap.Streams {
-		e.streams[name] = &streamInfo{domain: s.Domain, count: s.Count}
+	if err := slice.Quota.validate(); err != nil {
+		return fmt.Errorf("engine: restore: tenant %q quota: %w", tenant, err)
+	}
+	if slice.Quota != (Quota{}) {
+		e.tenantLocked(tenant).quota = slice.Quota
+	} else {
+		e.tenantLocked(tenant)
+	}
+	for name, s := range slice.Streams {
+		e.streams[nsKey{tenant, name}] = &streamInfo{domain: s.Domain, count: s.Count}
 	}
 	// Re-register the queries, rebuilding (empty) shared synopses...
-	for _, q := range snap.Queries {
+	for _, q := range slice.Queries {
 		spec := QuerySpec{
 			Name:         q.Name,
 			Agg:          Aggregate(q.Agg),
@@ -153,13 +382,14 @@ func (e *Engine) Restore(r io.Reader) error {
 			Right:        Side(q.Right),
 			SketchConfig: q.Config,
 		}
-		if err := e.registerLocked(spec); err != nil {
+		if err := e.registerLocked(tenant, spec); err != nil {
 			return fmt.Errorf("engine: restore: %w", err)
 		}
 	}
 	// ...then overwrite each synopsis' state from its blob.
-	for _, s := range snap.Synopses {
+	for _, s := range slice.Synopses {
 		key := synKey{
+			tenant:        tenant,
 			stream:        s.Stream,
 			predicate:     s.Predicate,
 			windowLen:     s.WindowLen,
@@ -180,6 +410,19 @@ func (e *Engine) Restore(r io.Reader) error {
 			if err := entry.sketch.UnmarshalBinary(s.Blob); err != nil {
 				return fmt.Errorf("engine: restore: %w", err)
 			}
+		}
+	}
+	// ...and re-arm the standing watches with their checkpointed state.
+	for _, w := range slice.Watches {
+		state := monitor.Normal
+		if w.Alert {
+			state = monitor.Alert
+		}
+		if _, ok := e.queries[nsKey{tenant, w.Query}]; !ok {
+			return fmt.Errorf("engine: restore: watch on unknown query %q", w.Query)
+		}
+		if err := e.watches.Restore(watchKey(tenant, w.Query), monitor.WatchConfig{High: w.High, Low: w.Low}, state); err != nil {
+			return fmt.Errorf("engine: restore: %w", err)
 		}
 	}
 	return nil

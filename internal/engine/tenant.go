@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// DefaultTenant is the namespace the un-suffixed Engine methods operate
+// on. A single-tenant deployment never needs to name it.
+const DefaultTenant = "default"
+
+// ErrQuotaExceeded is wrapped by every quota rejection — synopsis memory
+// at query registration, queue share at ingest admission — so callers
+// can map the whole family to one wire status (sketchd answers 429).
+var ErrQuotaExceeded = errors.New("tenant quota exceeded")
+
+// Quota bounds one tenant's resource consumption. Zero fields are
+// unlimited.
+type Quota struct {
+	// MaxSynopsisWords caps the total word footprint of the tenant's
+	// synopses, charged at synopsis creation (RegisterQuery) and refunded
+	// when the last referencing query is removed.
+	MaxSynopsisWords int `json:"maxSynopsisWords,omitempty"`
+	// MaxPendingUpdates caps the tenant's share of the ingest pipeline's
+	// queues: updates accepted by IngestBatch but not yet folded into
+	// synopses. Admission of a batch that would push the tenant past the
+	// cap is rejected with ErrQuotaExceeded instead of blocking, so one
+	// flooding tenant cannot monopolize the shared queue space.
+	MaxPendingUpdates int64 `json:"maxPendingUpdates,omitempty"`
+}
+
+func (q Quota) validate() error {
+	if q.MaxSynopsisWords < 0 || q.MaxPendingUpdates < 0 {
+		return fmt.Errorf("quota fields must be non-negative, got %+v", q)
+	}
+	return nil
+}
+
+// tenantState is the per-tenant accounting record: quota, synopsis-word
+// usage, pending queue share, and counters. words and the cache counters
+// are guarded by e.mu; pending and rejected are atomics because shard
+// workers decrement pending outside every engine lock.
+type tenantState struct {
+	quota                  Quota
+	words                  int // synopsis words charged (e.mu)
+	pending                atomic.Int64
+	rejected               atomic.Int64
+	cacheHits, cacheMisses int64 // e.mu
+}
+
+// ValidTenantName reports whether name is usable as a tenant namespace;
+// the HTTP layer uses it to refuse unroutable names before touching the
+// engine (mutating engine paths validate again themselves).
+func ValidTenantName(name string) error { return validTenantName(name) }
+
+// validTenantName rejects names the wire routing cannot represent.
+func validTenantName(name string) error {
+	if name == "" {
+		return fmt.Errorf("engine: tenant name must be non-empty")
+	}
+	if strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("engine: tenant name %q must not contain '/' or whitespace", name)
+	}
+	return nil
+}
+
+// tenantLocked returns (creating if absent) the tenant's state record.
+// Callers hold e.mu and have validated the name on every creation path.
+func (e *Engine) tenantLocked(name string) *tenantState {
+	ts, ok := e.tenants[name]
+	if !ok {
+		ts = &tenantState{quota: e.defaultQuota}
+		e.tenants[name] = ts
+	}
+	return ts
+}
+
+// SetQuota installs (or replaces) a tenant's quota. Lowering a quota
+// below current usage is allowed: existing state stays, further growth
+// is rejected.
+func (e *Engine) SetQuota(tenant string, q Quota) error {
+	if err := validTenantName(tenant); err != nil {
+		return err
+	}
+	if err := q.validate(); err != nil {
+		return fmt.Errorf("engine: tenant %q: %w", tenant, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tenantLocked(tenant).quota = q
+	return nil
+}
+
+// TenantNames returns every tenant namespace with any state, sorted.
+func (e *Engine) TenantNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	set := e.tenantNamesLocked()
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TenantStats is the per-tenant slice of Stats plus the tenant's quota
+// and quota-relevant gauges.
+type TenantStats struct {
+	Tenant       string
+	Streams      int
+	Queries      int
+	Synopses     int
+	SynopsisRefs int
+	TotalWords   int
+	// UpdateCounts is keyed by the tenant's bare stream names.
+	UpdateCounts map[string]int64
+	// PendingUpdates is the tenant's current ingest queue share (accepted
+	// but not yet applied); Rejected counts updates refused under
+	// ErrQuotaExceeded.
+	PendingUpdates    int64
+	Rejected          int64
+	AnswerCacheHits   int64
+	AnswerCacheMisses int64
+	Watches           int
+	Quota             Quota
+}
+
+// tenantStatsLocked assembles one tenant's stats. Callers hold the
+// quiesced read locks (readQuiesce), so counters are consistent.
+func (e *Engine) tenantStatsLocked(tenant string) TenantStats {
+	st := TenantStats{
+		Tenant:       tenant,
+		UpdateCounts: make(map[string]int64),
+		Watches:      len(e.watches.List(tenant)),
+	}
+	if ts, ok := e.tenants[tenant]; ok {
+		st.PendingUpdates = ts.pending.Load()
+		st.Rejected = ts.rejected.Load()
+		st.AnswerCacheHits = ts.cacheHits
+		st.AnswerCacheMisses = ts.cacheMisses
+		st.Quota = ts.quota
+		st.TotalWords = ts.words
+	}
+	for key, info := range e.streams {
+		if key.tenant == tenant {
+			st.Streams++
+			st.UpdateCounts[key.name] = info.count
+		}
+	}
+	for key := range e.queries {
+		if key.tenant == tenant {
+			st.Queries++
+		}
+	}
+	for _, entry := range e.synopses {
+		if entry.key.tenant == tenant {
+			st.Synopses++
+			st.SynopsisRefs += entry.refs
+		}
+	}
+	return st
+}
+
+// Tenant returns a handle scoped to one tenant namespace. The handle is
+// cheap (no state is created until a mutating call) and safe to share.
+func (e *Engine) Tenant(name string) *Tenant {
+	return &Tenant{e: e, name: name}
+}
+
+// Tenant scopes the engine API to one namespace: every method behaves
+// exactly like the Engine method of the same name restricted to the
+// tenant's streams, predicates, queries, watches and answer cache.
+type Tenant struct {
+	e    *Engine
+	name string
+}
+
+// Name returns the tenant namespace this handle is scoped to.
+func (t *Tenant) Name() string { return t.name }
+
+// DeclareStream registers a stream name with its value domain
+// [0, domain) in this tenant.
+func (t *Tenant) DeclareStream(name string, domain uint64) error {
+	if err := validTenantName(t.name); err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("engine: stream name must be non-empty")
+	}
+	if domain == 0 {
+		return fmt.Errorf("engine: stream %q: domain must be positive", name)
+	}
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := nsKey{t.name, name}
+	if _, ok := e.streams[key]; ok {
+		return fmt.Errorf("engine: stream %q already declared", name)
+	}
+	e.tenantLocked(t.name)
+	e.streams[key] = &streamInfo{domain: domain}
+	return nil
+}
+
+// RegisterPredicate names a selection predicate for use in this tenant's
+// query sides.
+func (t *Tenant) RegisterPredicate(name string, p Predicate) error {
+	if err := validTenantName(t.name); err != nil {
+		return err
+	}
+	if name == "" || p == nil {
+		return fmt.Errorf("engine: predicate name and function must be non-empty")
+	}
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := nsKey{t.name, name}
+	if _, ok := e.predicates[key]; ok {
+		return fmt.Errorf("engine: predicate %q already registered", name)
+	}
+	e.tenantLocked(t.name)
+	e.predicates[key] = p
+	return nil
+}
+
+// RegisterQuery installs a continuous query in this tenant. A fresh
+// synopsis pair is charged against the tenant's memory quota; rejection
+// wraps ErrQuotaExceeded.
+func (t *Tenant) RegisterQuery(spec QuerySpec) error {
+	if err := validTenantName(t.name); err != nil {
+		return err
+	}
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	return t.e.registerLocked(t.name, spec)
+}
+
+// RemoveQuery deregisters a query, releasing (and possibly freeing) its
+// synopses and dropping any standing watch on it.
+func (t *Tenant) RemoveQuery(name string) error {
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	qk := nsKey{t.name, name}
+	q, ok := e.queries[qk]
+	if !ok {
+		return fmt.Errorf("engine: unknown query %q", name)
+	}
+	e.release(q.left)
+	e.release(q.right)
+	delete(e.queries, qk)
+	delete(e.answers, qk)
+	e.watches.Remove(watchKey(t.name, name))
+	return nil
+}
+
+// Update routes one stream element to every synopsis attached to the
+// tenant's stream.
+func (t *Tenant) Update(streamName string, value uint64, weight int64) error {
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := nsKey{t.name, streamName}
+	info, ok := e.streams[key]
+	if !ok {
+		return fmt.Errorf("engine: unknown stream %q", streamName)
+	}
+	if value >= info.domain {
+		return fmt.Errorf("engine: stream %q: value %d outside domain [0,%d)", streamName, value, info.domain)
+	}
+	info.count++
+	e.metrics.UpdatesEnqueued.Add(1)
+	// Take the exclusive apply lock so a single update is serialized with
+	// both the shard workers and the readers.
+	e.applyMu.Lock()
+	for _, entry := range e.synopses {
+		if entry.key.tenant == t.name && entry.key.stream == streamName {
+			entry.update(value, weight)
+		}
+	}
+	e.applyMu.Unlock()
+	e.metrics.UpdatesApplied.Add(1)
+	return nil
+}
+
+// Answer serves the current approximate answer of a query registered in
+// this tenant; see Engine.Answer for the locking and caching contract.
+func (t *Tenant) Answer(name string) (Answer, error) {
+	return t.e.answerTenant(t.name, name)
+}
+
+// Stats reports this tenant's registry sizes, counters and quota.
+// Like Engine.Stats it drains the ingestion pipeline first.
+func (t *Tenant) Stats() TenantStats {
+	defer t.e.readQuiesce()()
+	return t.e.tenantStatsLocked(t.name)
+}
+
+// Queries returns the tenant's registered query names, sorted.
+func (t *Tenant) Queries() []string {
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var names []string
+	for key := range e.queries {
+		if key.tenant == t.name {
+			names = append(names, key.name)
+		}
+	}
+	sort.Strings(names)
+	if names == nil {
+		names = []string{}
+	}
+	return names
+}
+
+// Streams returns the tenant's declared stream names, sorted.
+func (t *Tenant) Streams() []string {
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var names []string
+	for key := range e.streams {
+		if key.tenant == t.name {
+			names = append(names, key.name)
+		}
+	}
+	sort.Strings(names)
+	if names == nil {
+		names = []string{}
+	}
+	return names
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"fmt"
+
+	"skimsketch/internal/monitor"
+)
+
+// Standing watches: per-tenant threshold alerts over registered queries
+// ("alert when the estimated join size crosses High; clear when it falls
+// back to Low"). The alert state machines live in a tenant-keyed
+// monitor.Registry, so two tenants watching identically named queries
+// never share state. Evaluation goes through Answer and therefore
+// through the epoch-keyed answer cache: a tick over thousands of watches
+// whose synopses have not changed costs thousands of cache hits, not
+// thousands of O(domain) estimations — the incremental evaluation the
+// cache was built for.
+
+// WatchSpec registers one standing watch on a query of this tenant.
+type WatchSpec struct {
+	// Query names a query already registered in the same tenant.
+	Query string
+	// High raises the alert when the estimate reaches it; Low clears the
+	// alert when the estimate falls to it or below (hysteresis).
+	High, Low int64
+}
+
+func watchKey(tenant, query string) monitor.WatchKey {
+	return monitor.WatchKey{Tenant: tenant, Query: query}
+}
+
+// RegisterWatch installs a standing watch on one of the tenant's
+// registered queries. Removing the query removes the watch.
+func (t *Tenant) RegisterWatch(spec WatchSpec) error {
+	if err := validTenantName(t.name); err != nil {
+		return err
+	}
+	e := t.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.queries[nsKey{t.name, spec.Query}]; !ok {
+		return fmt.Errorf("engine: watch: unknown query %q", spec.Query)
+	}
+	return e.watches.Register(watchKey(t.name, spec.Query), monitor.WatchConfig{High: spec.High, Low: spec.Low})
+}
+
+// RemoveWatch drops a standing watch (the query stays registered).
+func (t *Tenant) RemoveWatch(query string) error {
+	if !t.e.watches.Remove(watchKey(t.name, query)) {
+		return fmt.Errorf("engine: watch: no watch on query %q", query)
+	}
+	return nil
+}
+
+// Watches lists the tenant's standing watches without evaluating them.
+func (t *Tenant) Watches() []monitor.WatchStatus {
+	return t.e.watches.List(t.name)
+}
+
+// EvaluateWatches answers every watched query of the tenant and feeds
+// the estimates through the alert state machines, returning the
+// resulting statuses sorted by query name. Unchanged queries are served
+// from the answer cache, so an idle tick is cheap.
+func (t *Tenant) EvaluateWatches() ([]monitor.WatchStatus, error) {
+	watches := t.e.watches.List(t.name)
+	out := make([]monitor.WatchStatus, 0, len(watches))
+	for _, w := range watches {
+		ans, err := t.Answer(w.Query)
+		if err != nil {
+			// RemoveQuery drops the watch with the query under e.mu, so an
+			// Answer error here normally means the watch vanished between
+			// List and Answer — skip it. A watch that still exists without
+			// its query is a real fault and is surfaced.
+			if _, ok := t.e.watches.Get(watchKey(t.name, w.Query)); !ok {
+				continue
+			}
+			return nil, fmt.Errorf("engine: watch %q: %w", w.Query, err)
+		}
+		st, _, err := t.e.watches.Observe(watchKey(t.name, w.Query), ans.Estimate)
+		if err != nil {
+			continue // removed between Answer and Observe
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// EvaluateAllWatches runs EvaluateWatches for every tenant with at least
+// one watch — the periodic tick behind sketchd's -watch.interval.
+func (e *Engine) EvaluateAllWatches() ([]monitor.WatchStatus, error) {
+	var out []monitor.WatchStatus
+	for _, tenant := range e.watches.Tenants() {
+		sts, err := e.Tenant(tenant).EvaluateWatches()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, sts...)
+	}
+	return out, nil
+}

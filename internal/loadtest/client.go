@@ -41,6 +41,10 @@ type Update struct {
 type Client struct {
 	// BaseURL is the sketchd root, e.g. http://127.0.0.1:8080.
 	BaseURL string
+	// Tenant scopes every request to one tenant namespace via the
+	// /t/{tenant}/ path prefix; empty uses the flat (default-tenant) API,
+	// byte-identical to the pre-tenant client.
+	Tenant string
 	// HTTP is the underlying client; nil uses http.DefaultClient.
 	HTTP *http.Client
 	// Backoff paces 429 retries. The zero value is the distributed
@@ -56,6 +60,22 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// ForTenant returns a copy of the client scoped to one tenant (sharing
+// the transport and backoff policy).
+func (c *Client) ForTenant(tenant string) *Client {
+	cc := *c
+	cc.Tenant = tenant
+	return &cc
+}
+
+// url resolves an API path against the base URL and the tenant scope.
+func (c *Client) url(path string) string {
+	if c.Tenant != "" {
+		return c.BaseURL + "/t/" + c.Tenant + path
+	}
+	return c.BaseURL + path
+}
+
 // postJSON POSTs v to path and decodes the JSON response into out (when
 // non-nil). Non-2xx statuses become errors carrying the body.
 func (c *Client) postJSON(ctx context.Context, path string, v, out any) error {
@@ -63,7 +83,7 @@ func (c *Client) postJSON(ctx context.Context, path string, v, out any) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -85,7 +105,7 @@ func (c *Client) postJSON(ctx context.Context, path string, v, out any) error {
 
 // getJSON GETs path and decodes the JSON response into out.
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
 	if err != nil {
 		return err
 	}
@@ -174,7 +194,7 @@ func (c *Client) SendUpdates(ctx context.Context, batch []Update, hist *stats.Hi
 		return out, err
 	}
 	attempt := func(ctx context.Context) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/update", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/update"), bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
@@ -300,6 +320,34 @@ type ServerStats struct {
 // Stats fetches the reconciliation subset of /stats.
 func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
 	var st ServerStats
+	if err := c.getJSON(ctx, "/stats", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// TenantServerStats is the reconciliation subset of a tenant-scoped
+// GET /t/{tenant}/stats: the tenant's exact per-stream enqueue counters
+// plus its quota gauges.
+type TenantServerStats struct {
+	UpdateCounts   map[string]int64 `json:"updateCounts"`
+	PendingUpdates int64            `json:"pendingUpdates"`
+	Rejected       int64            `json:"rejected"`
+}
+
+// TotalUpdates sums the tenant's per-stream update counters.
+func (s *TenantServerStats) TotalUpdates() int64 {
+	var n int64
+	for _, c := range s.UpdateCounts {
+		n += c
+	}
+	return n
+}
+
+// TenantStats fetches the reconciliation subset of the scoped tenant's
+// /stats (callers use a ForTenant client).
+func (c *Client) TenantStats(ctx context.Context) (*TenantServerStats, error) {
+	var st TenantServerStats
 	if err := c.getJSON(ctx, "/stats", &st); err != nil {
 		return nil, err
 	}

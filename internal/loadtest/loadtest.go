@@ -27,6 +27,16 @@ type Config struct {
 	Domain uint64 `json:"domain"`
 	Seed   int64  `json:"seed"`
 
+	// Tenants fans the run out across this many tenant namespaces
+	// (TenantNames). Each batch's tenant is drawn from the same seeded
+	// workload shape as the values (offset seed), so the per-tenant load
+	// split is reproducible and — with a skewed shape — deliberately
+	// unequal, like real multi-tenant traffic. 0 or 1 keeps the whole
+	// run on the flat default-tenant API, byte-identical to the
+	// pre-tenant harness. Streams and queries must already be declared
+	// per tenant (cmd/loadgen -declare does this).
+	Tenants int `json:"tenants,omitempty"`
+
 	// Rate is the open-loop arrival rate in updates/sec fed through a
 	// token bucket; 0 means unpaced (generate as fast as the queue
 	// accepts). Burst is the bucket capacity in updates (default: one
@@ -131,6 +141,38 @@ type Result struct {
 	// anchor. Counters are deltas over the run (a pre-run /stats is
 	// subtracted), so a warm server reconciles too.
 	Server ServerStats
+	// Tenants is the per-tenant reconciliation (multi-tenant runs only):
+	// one row per tenant, client-acknowledged updates against the
+	// tenant's own /stats counter deltas.
+	Tenants []TenantRecon
+}
+
+// TenantRecon reconciles one tenant's slice of a run exactly: every
+// update the client got a 2xx for must appear in that tenant's server
+// counters, and no other tenant's. UpdatesSent == ServerUpdates is the
+// isolation identity BenchReport.Validate enforces.
+type TenantRecon struct {
+	Tenant string `json:"tenant"`
+	// UpdatesSent counts this tenant's updates acknowledged by 2xx.
+	UpdatesSent int64 `json:"updatesSent"`
+	// ServerUpdates is the tenant's /stats updateCounts delta over the
+	// run (summed across its streams).
+	ServerUpdates int64 `json:"serverUpdates"`
+	// ServerRejected is the tenant's quota-rejection counter delta.
+	ServerRejected int64 `json:"serverRejected"`
+}
+
+// TenantNames yields the harness's tenant namespaces for a fan-out of
+// n: "t0".."t{n-1}". nil for n <= 1 (single-tenant, flat API).
+func TenantNames(n int) []string {
+	if n <= 1 {
+		return nil
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	return names
 }
 
 // tokenBucket paces the arrival process on the monotonic clock.
@@ -181,6 +223,16 @@ func (tb *tokenBucket) take(ctx context.Context, n int) error {
 type workerTally struct {
 	hist                                               stats.Histogram
 	requests, updates, rejected429, retries, errorsCnt int64
+	// byTenant is the per-tenant slice of updates (indexed like the
+	// run's tenant list; nil on single-tenant runs).
+	byTenant []int64
+}
+
+// tenantBatch is one queued batch tagged with its target tenant index
+// (always 0 on single-tenant runs).
+type tenantBatch struct {
+	tenant  int
+	updates []Update
 }
 
 // Run executes one load-harness run against a live sketchd: an arrival
@@ -199,11 +251,38 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	client := cfg.Client
 
+	// Multi-tenant fan-out: one scoped client per tenant, plus a second
+	// seeded generator (offset seed, domain = tenant count) choosing each
+	// batch's tenant — the same shape as the values, so a zipfian run
+	// skews its tenant split zipfianly too, reproducibly.
+	tenants := TenantNames(cfg.Tenants)
+	sendClients := []*Client{&client}
+	var tgen workload.Generator
+	if len(tenants) > 0 {
+		sendClients = make([]*Client, len(tenants))
+		for i, name := range tenants {
+			sendClients[i] = client.ForTenant(name)
+		}
+		tgen, err = workload.ParseShape(cfg.Shape, uint64(len(tenants)), cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	// Pre-run server counters: subtracted from the post-run fetch so the
 	// reported Server view covers exactly this run.
 	pre, err := client.Stats(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("loadtest: pre-run /stats: %w", err)
+	}
+	preTenant := make([]*TenantServerStats, len(tenants))
+	for i, c := range sendClients {
+		if len(tenants) == 0 {
+			break
+		}
+		if preTenant[i], err = c.TenantStats(ctx); err != nil {
+			return nil, fmt.Errorf("loadtest: pre-run tenant %s /stats: %w", tenants[i], err)
+		}
 	}
 
 	runCtx := ctx
@@ -213,7 +292,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		defer cancel()
 	}
 
-	queue := make(chan []Update, cfg.QueueDepth)
+	queue := make(chan tenantBatch, cfg.QueueDepth)
 	var shed atomic.Int64
 	start := time.Now()
 
@@ -241,6 +320,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			for i := range batch {
 				batch[i] = Update{Stream: cfg.Streams[s], Value: gen.Next()}
 			}
+			tenant := 0
+			if tgen != nil {
+				tenant = int(tgen.Next())
+			}
 			if err := tb.take(runCtx, len(batch)); err != nil {
 				return
 			}
@@ -249,7 +332,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			}
 			produced += n
 			select {
-			case queue <- batch:
+			case queue <- tenantBatch{tenant: tenant, updates: batch}:
 			default:
 				shed.Add(n) // open loop: arrivals never block
 			}
@@ -260,16 +343,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	tallies := make([]*workerTally, cfg.Workers)
 	var workWG sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
-		tally := &workerTally{}
+		tally := &workerTally{byTenant: make([]int64, len(tenants))}
 		tallies[w] = tally
 		workWG.Add(1)
 		go func() {
 			defer workWG.Done()
-			for batch := range queue {
+			for item := range queue {
 				// Deliveries use ctx, not runCtx: when the duration
 				// expires mid-flight, in-queue batches still finish so
 				// accounting reconciles exactly.
-				out, err := client.SendUpdates(ctx, batch, &tally.hist)
+				out, err := sendClients[item.tenant].SendUpdates(ctx, item.updates, &tally.hist)
 				tally.requests += out.Attempts
 				tally.rejected429 += out.Rejected429
 				if out.Attempts > 1 {
@@ -280,6 +363,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 					continue
 				}
 				tally.updates += out.Applied
+				if len(tally.byTenant) > 0 {
+					tally.byTenant[item.tenant] += out.Applied
+				}
 			}
 		}()
 	}
@@ -336,6 +422,27 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res.Ingest = mergeTallies(tallies)
 	res.Ingest.Shed = shed.Load()
 	res.Query = mergeTallies(qTallies)
+
+	// Per-tenant reconciliation: each tenant's client-acknowledged
+	// updates against its own /stats deltas. These are the rows
+	// BenchReport.Validate checks for exact equality — a cross-tenant
+	// routing bug would surface here as a mismatch on both tenants.
+	for i, name := range tenants {
+		postT, err := sendClients[i].TenantStats(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: post-run tenant %s /stats: %w", name, err)
+		}
+		var acked int64
+		for _, t := range tallies {
+			acked += t.byTenant[i]
+		}
+		res.Tenants = append(res.Tenants, TenantRecon{
+			Tenant:         name,
+			UpdatesSent:    acked,
+			ServerUpdates:  postT.TotalUpdates() - preTenant[i].TotalUpdates(),
+			ServerRejected: postT.Rejected - preTenant[i].Rejected,
+		})
+	}
 	return res, nil
 }
 

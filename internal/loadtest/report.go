@@ -61,6 +61,7 @@ type ConfigEcho struct {
 	QueueDepth   int      `json:"queueDepth"`
 	QueryWorkers int      `json:"queryWorkers"`
 	QueryName    string   `json:"queryName,omitempty"`
+	Tenants      int      `json:"tenants,omitempty"`
 }
 
 func echoConfig(c Config) ConfigEcho {
@@ -69,6 +70,7 @@ func echoConfig(c Config) ConfigEcho {
 		Domain: c.Domain, Seed: c.Seed, Rate: c.Rate, Burst: c.Burst,
 		Workers: c.Workers, Batch: c.Batch, QueueDepth: c.QueueDepth,
 		QueryWorkers: c.QueryWorkers, QueryName: c.QueryName,
+		Tenants: c.Tenants,
 	}
 }
 
@@ -111,6 +113,10 @@ type BenchReport struct {
 	// Server is present on ingest reports (the query path has no
 	// server-side histogram yet).
 	Server *ServerEcho `json:"server,omitempty"`
+	// Tenants carries the per-tenant reconciliation rows of a
+	// multi-tenant ingest run; Validate requires every row's client and
+	// server update counts to match exactly.
+	Tenants []TenantRecon `json:"tenants,omitempty"`
 }
 
 // buildReport assembles one side of a Result into a report.
@@ -143,6 +149,7 @@ func buildReport(kind string, res *Result, now time.Time) *BenchReport {
 		}
 	}
 	if kind == "ingest" {
+		r.Tenants = res.Tenants
 		r.Server = &ServerEcho{
 			UpdatesEnqueued:     res.Server.Ingest.UpdatesEnqueued,
 			UpdatesApplied:      res.Server.Ingest.UpdatesApplied,
@@ -203,6 +210,23 @@ func (r *BenchReport) Validate() error {
 	}
 	if r.Kind == "ingest" && r.Server == nil {
 		return fmt.Errorf("bench: ingest report missing server echo")
+	}
+	// Multi-tenant runs must reconcile exactly, tenant by tenant: every
+	// acknowledged update appears in its own tenant's counters and only
+	// there. (A cross-tenant routing bug shows up as paired mismatches.)
+	var tenantUpdates int64
+	for _, t := range r.Tenants {
+		if t.UpdatesSent != t.ServerUpdates {
+			return fmt.Errorf("bench: tenant %s: client acked %d updates but server counted %d",
+				t.Tenant, t.UpdatesSent, t.ServerUpdates)
+		}
+		if t.ServerRejected < 0 {
+			return fmt.Errorf("bench: tenant %s: negative rejected delta %d", t.Tenant, t.ServerRejected)
+		}
+		tenantUpdates += t.UpdatesSent
+	}
+	if len(r.Tenants) > 0 && r.Kind == "ingest" && tenantUpdates != r.Updates {
+		return fmt.Errorf("bench: per-tenant updates sum to %d but the run acked %d", tenantUpdates, r.Updates)
 	}
 	return nil
 }
