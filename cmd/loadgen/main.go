@@ -58,6 +58,9 @@ type options struct {
 	qworkers int
 	qname    string
 	tenants  int
+	proto    string
+	streamAd string
+	idem     bool
 	outDir   string
 
 	autotune       bool
@@ -87,6 +90,9 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.qworkers, "query.workers", 0, "concurrent /answer goroutines (0 = no query stream)")
 	fs.StringVar(&o.qname, "query.name", "q", "query to answer (and to register under -declare)")
 	fs.IntVar(&o.tenants, "tenants", 0, "fan the run out across N tenant namespaces (t0..tN-1), each batch's tenant drawn from the seeded workload shape; reports carry exact per-tenant reconciliation (0 or 1 = single default tenant)")
+	fs.StringVar(&o.proto, "proto", "json", `ingest protocol: "json" (HTTP /update) or "skimp" (SKSP binary streaming; needs -stream.addr)`)
+	fs.StringVar(&o.streamAd, "stream.addr", "", "sketchd -listen.stream host:port for -proto=skimp")
+	fs.BoolVar(&o.idem, "idempotency", true, "stamp JSON /update batches with Idempotency-Key headers so retries after lost responses cannot double-apply (skimp frames always carry one)")
 	fs.StringVar(&o.outDir, "out", ".", "directory for BENCH_*.json reports")
 	fs.BoolVar(&o.autotune, "autotune", false, "search -ingest.*/-query.workers for max throughput before the measured run")
 	fs.DurationVar(&o.autotuneTrial, "autotune.trial", 2*time.Second, "duration of each autotune trial")
@@ -130,6 +136,11 @@ func (o options) config() loadtest.Config {
 		TotalUpdates: o.updates,
 		QueryWorkers: o.qworkers,
 		Tenants:      o.tenants,
+		Proto:        o.proto,
+		StreamAddr:   o.streamAd,
+	}
+	if o.idem {
+		cfg.Client.Idem = loadtest.NewIdemSource("")
 	}
 	for _, s := range strings.Split(o.streams, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -199,8 +210,8 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 	if err := loadtest.WriteReport(ingestPath, ingest); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "loadgen ingest: %.0f updates/s (%d updates, %d requests, %d x 429, %d retries, %d shed, %d errors) p50=%s p99=%s -> %s\n",
-		ingest.ThroughputPerSec, ingest.Updates, ingest.Requests, ingest.Rejected429,
+	fmt.Fprintf(out, "loadgen ingest [%s]: %.0f updates/s (%d updates, %d requests, %d x 429, %d retries, %d shed, %d errors) p50=%s p99=%s -> %s\n",
+		cfg.Proto, ingest.ThroughputPerSec, ingest.Updates, ingest.Requests, ingest.Rejected429,
 		ingest.Retries, ingest.Shed, ingest.Errors,
 		time.Duration(ingest.Latency.P50Ns), time.Duration(ingest.Latency.P99Ns), ingestPath)
 	for _, t := range res.Tenants {

@@ -90,14 +90,15 @@ import (
 
 // options collects every flag so run is testable without a flag set.
 type options struct {
-	addr     string
-	tables   int
-	buckets  int
-	seed     uint64
-	workers  int
-	batch    int
-	queue    int
-	qworkers int
+	addr       string
+	streamAddr string
+	tables     int
+	buckets    int
+	seed       uint64
+	workers    int
+	batch      int
+	queue      int
+	qworkers   int
 
 	tenantMaxWords   int
 	tenantMaxPending int64
@@ -116,6 +117,7 @@ func parseFlags(args []string) (options, error) {
 	var o options
 	fs := flag.NewFlagSet("sketchd", flag.ContinueOnError)
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&o.streamAddr, "listen.stream", "", "SKSP binary streaming ingest listen address (empty = disabled); see docs/FORMATS.md")
 	fs.IntVar(&o.tables, "tables", 7, "default sketch tables d")
 	fs.IntVar(&o.buckets, "buckets", 2048, "default sketch buckets b")
 	fs.Uint64Var(&o.seed, "seed", 42, "default sketch seed")
@@ -217,6 +219,19 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// The SKSP binary ingest listener shares the engine, the dedupe
+	// window, and the shutdown drain with the HTTP front end.
+	streamErr := make(chan error, 1)
+	if opts.streamAddr != "" {
+		sln, err := net.Listen("tcp", opts.streamAddr)
+		if err != nil {
+			return err
+		}
+		srv.stream = newStreamServer(eng, srv.dedupe, sln)
+		fmt.Fprintf(out, "sketchd %s\n", srv.stream)
+		go func() { streamErr <- srv.stream.serve() }()
+	}
+
 	// Periodic checkpoints, stopped (and awaited) before the final save
 	// so the two writers never interleave on the shutdown path.
 	var cpWG sync.WaitGroup
@@ -276,6 +291,8 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 	case err := <-serveErr:
 		// The listener died on its own — not a requested shutdown.
 		return err
+	case err := <-streamErr:
+		return fmt.Errorf("sksp listener: %w", err)
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(out, "sketchd shutting down")
@@ -293,6 +310,14 @@ func run(ctx context.Context, opts options, out io.Writer) error {
 		httpSrv.Close()
 	}
 	<-serveErr // Serve has returned (http.ErrServerClosed)
+
+	// Drain the SKSP listener after the HTTP one: stop accepting, close
+	// every session (handlers finish their in-flight frame), wait. Every
+	// ACKed frame is now in the ingest queues for the Flush below;
+	// un-ACKed frames will be replayed by their clients on reconnect.
+	if srv.stream != nil {
+		srv.stream.shutdown()
+	}
 
 	// 2. Quiesce the periodic checkpointer, then drain the ingest
 	// pipeline so every accepted update is folded into its synopsis.

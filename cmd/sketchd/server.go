@@ -18,6 +18,7 @@ import (
 	"skimsketch/internal/monitor"
 	"skimsketch/internal/stats"
 	"skimsketch/internal/stream"
+	"skimsketch/internal/wire"
 )
 
 // retryAfterSeconds is the Retry-After hint on 429 responses: the
@@ -53,10 +54,25 @@ type server struct {
 	// harness merges it with its own client-side view.
 	latMu     sync.Mutex
 	updateLat stats.Histogram
+
+	// dedupe is the (clientID, seq) replay window shared by the SKSP
+	// stream listener and /update's Idempotency-Key path: a client that
+	// lost a response (dropped connection, timeout) retries under the
+	// same identity and is answered from here instead of re-applied.
+	dedupe *wire.Window
+	// stream is the SKSP listener, when -listen.stream enabled it; its
+	// counters render under /stats "stream".
+	stream *streamServer
 }
 
 func newServer(eng *engine.Engine) *server {
-	s := &server{eng: eng, mux: http.NewServeMux(), snapshot: eng.Snapshot, start: time.Now()}
+	s := &server{
+		eng:      eng,
+		mux:      http.NewServeMux(),
+		snapshot: eng.Snapshot,
+		start:    time.Now(),
+		dedupe:   wire.NewWindow(0, 0),
+	}
 	s.mux.HandleFunc("/streams", s.handleStreams)
 	s.mux.HandleFunc("/predicates", s.handlePredicates)
 	s.mux.HandleFunc("/queries", s.handleQueries)
@@ -417,6 +433,31 @@ type updateReq struct {
 	Weight *int64 `json:"weight"`
 }
 
+// parseIdempotencyKey parses an optional Idempotency-Key header of the
+// form "clientID:seq". A client that may retry a batch (because the
+// connection died after the server applied it but before the response
+// arrived) sends the same key on every attempt; the server remembers
+// applied keys in its dedupe window and answers replays without
+// re-applying. Returns ok=false when the header is absent.
+func parseIdempotencyKey(r *http.Request) (client string, seq uint64, ok bool, err error) {
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		return "", 0, false, nil
+	}
+	i := strings.LastIndexByte(key, ':')
+	if i <= 0 || i == len(key)-1 {
+		return "", 0, false, fmt.Errorf("malformed Idempotency-Key %q: want clientID:seq", key)
+	}
+	seq, err = strconv.ParseUint(key[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false, fmt.Errorf("malformed Idempotency-Key %q: seq: %v", key, err)
+	}
+	if len(key) > 2*wire.MaxNameLen {
+		return "", 0, false, fmt.Errorf("Idempotency-Key longer than %d bytes", 2*wire.MaxNameLen)
+	}
+	return key[:i], seq, true, nil
+}
+
 func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("use POST"))
@@ -427,10 +468,25 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// request count the harness reconciles against includes 429s.
 	t0 := time.Now()
 	defer func() { s.recordUpdateLatency(time.Since(t0)) }()
+	// Idempotent replay: a remembered key means an earlier attempt of
+	// this very batch was applied and only the response was lost. Answer
+	// from the window — before the saturation check, because re-applying
+	// nothing is always admissible.
+	idClient, idSeq, hasKey, err := parseIdempotencyKey(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if hasKey {
+		if out, ok := s.dedupe.Lookup(idClient, idSeq); ok {
+			writeJSON(w, http.StatusOK, map[string]any{"applied": out.Applied, "deduplicated": true})
+			return
+		}
+	}
 	// Backpressure: when the ingest queues are full, shed load with 429 +
 	// Retry-After instead of blocking the handler (and the client, and
 	// eventually every server connection) on a queue that may stay full.
-	// The check is first — before body parsing — because an overloaded
+	// The check is early — before body parsing — because an overloaded
 	// server wants the cheapest possible rejection path. Nothing has been
 	// applied, so the request is safely retryable.
 	if s.eng.IngestSaturated() {
@@ -476,55 +532,52 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Group the batch by stream (preserving per-stream order) and hand
-	// each group to the engine's batched ingest path, which amortizes
-	// locking and hash evaluation and, with -ingest.workers, applies
-	// concurrently.
-	groups := make(map[string][]stream.Update)
-	order := make([]string, 0, 2)
+	// the whole request to the engine's multi-group ingest path, which
+	// amortizes locking and hash evaluation and, with -ingest.workers,
+	// applies concurrently.
+	byStream := make(map[string]int)
+	groups := make([]stream.Group, 0, 2)
 	for _, u := range batch {
 		weight := int64(1) // bare inserts may omit the weight
 		if u.Weight != nil {
 			weight = *u.Weight
 		}
-		if _, ok := groups[u.Stream]; !ok {
-			order = append(order, u.Stream)
+		i, ok := byStream[u.Stream]
+		if !ok {
+			i = len(groups)
+			byStream[u.Stream] = i
+			groups = append(groups, stream.Group{Name: u.Stream})
 		}
-		groups[u.Stream] = append(groups[u.Stream], stream.Update{Value: u.Value, Weight: weight})
+		groups[i].Updates = append(groups[i].Updates, stream.Update{Value: u.Value, Weight: weight})
 	}
-	// The request is atomic: validate EVERY stream group first, then
-	// apply. A bad group (unknown stream, out-of-domain value) rejects the
-	// whole request with the failing stream named, and no group — not even
-	// an earlier valid one — is applied.
-	for _, name := range order {
-		if err := t.ValidateBatch(name, groups[name]); err != nil {
+	// The request is atomic: validate EVERY stream group first, so a bad
+	// group (unknown stream, out-of-domain value) rejects the whole
+	// request with the failing stream named.
+	for _, g := range groups {
+		if err := t.ValidateBatch(g.Name, g.Updates); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{
 				"error":  err.Error(),
-				"stream": name,
+				"stream": g.Name,
 			})
 			return
 		}
 	}
-	for _, name := range order {
-		if err := t.IngestBatch(name, groups[name]); err != nil {
-			// The tenant's queue-share quota rejects admission here: 429 +
-			// Retry-After, same contract as global saturation. Earlier groups
-			// of the same request were admitted; the engine never
-			// half-applies a group.
-			if errors.Is(err, engine.ErrQuotaExceeded) {
-				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-				writeJSON(w, http.StatusTooManyRequests, map[string]string{
-					"error":  err.Error(),
-					"stream": name,
-				})
-				return
-			}
-			// Unreachable in practice (validated above); report faithfully.
-			writeJSON(w, http.StatusInternalServerError, map[string]string{
-				"error":  err.Error(),
-				"stream": name,
-			})
+	// Admission is atomic too: IngestGroups checks the tenant's
+	// queue-share quota against the WHOLE request before admitting any
+	// group, so a 429 here really means "nothing was applied, retry the
+	// whole batch" — the contract every retrying client assumes.
+	if err := t.IngestGroups(groups, nil); err != nil {
+		if errors.Is(err, engine.ErrQuotaExceeded) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
 			return
 		}
+		// Unreachable in practice (validated above); report faithfully.
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if hasKey {
+		s.dedupe.Record(idClient, idSeq, wire.Outcome{Applied: int64(len(batch))})
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"applied": len(batch)})
 }
@@ -668,7 +721,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, ts := range st.Tenants {
 		tenants[name] = tenantStatsJSON(ts)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"streams":      st.Streams,
 		"queries":      st.Queries,
 		"synopses":     st.Synopses,
@@ -693,7 +746,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// latencies must bracket from below).
 		"updateLatency": s.updateLatencySnapshot(),
 		"uptimeSeconds": time.Since(s.start).Seconds(),
-	})
+	}
+	// The SKSP listener's counters, when -listen.stream is on: the
+	// binary-protocol mirror of the HTTP ingest figures above.
+	if s.stream != nil {
+		resp["stream"] = s.stream.statsJSON()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // tenantReq configures one tenant: POST /tenants installs (or replaces)

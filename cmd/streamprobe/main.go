@@ -1,0 +1,122 @@
+// Command streamprobe is a raw SKSP diagnostic: it dials a sketchd
+// -listen.stream endpoint, sends one small DATA frame, and prints the
+// response. With -replay it then drops the connection, reconnects, and
+// re-sends the SAME (clientID, seq) — modelling a client whose ACK was
+// lost in a disconnect — and fails unless the server answers with a
+// duplicate ACK (exactly-once replay). Operators use it to check a live
+// listener's health; scripts/integration_stream.sh uses it to gate the
+// end-to-end dedupe contract.
+//
+//	streamprobe -addr 127.0.0.1:9091 -client probe-1 -seq 7 -replay
+//
+// The frame carries one insert into each of -streams (default "F,G")
+// at -value, scoped to -tenant (empty = server default tenant). The
+// streams must already be declared; a permanent ERROR response makes
+// the probe exit nonzero with the server's message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"skimsketch/internal/stream"
+	"skimsketch/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9091", "sketchd -listen.stream address")
+		client  = flag.String("client", "streamprobe", "client ID for the dedupe window")
+		seq     = flag.Uint64("seq", 1, "frame sequence number")
+		tenant  = flag.String("tenant", "", "tenant namespace (empty = default)")
+		streams = flag.String("streams", "F,G", "comma-separated streams; one insert each")
+		value   = flag.Uint64("value", 7, "inserted value (must be in every stream's domain)")
+		replay  = flag.Bool("replay", false, "reconnect and re-send the same frame; require a duplicate ACK")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-connection I/O deadline")
+	)
+	flag.Parse()
+
+	d := &wire.Data{ClientID: *client, Seq: *seq, Tenant: *tenant}
+	for _, s := range strings.Split(*streams, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			d.Groups = append(d.Groups, stream.Group{Name: s, Updates: []stream.Update{{Value: *value, Weight: 1}}})
+		}
+	}
+
+	ack, err := sendOnce(*addr, d, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamprobe:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("streamprobe: seq %d ACKed, applied=%d duplicate=%v\n", ack.Seq, ack.Applied, ack.Duplicate)
+	if !*replay {
+		return
+	}
+	// The replay: same frame, fresh connection — the server must answer
+	// from its dedupe window without applying anything twice.
+	ack2, err := sendOnce(*addr, d, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamprobe: replay:", err)
+		os.Exit(1)
+	}
+	if !ack2.Duplicate {
+		fmt.Fprintf(os.Stderr, "streamprobe: replay of seq %d was NOT deduplicated (applied=%d)\n", ack2.Seq, ack2.Applied)
+		os.Exit(1)
+	}
+	if ack2.Applied != ack.Applied {
+		fmt.Fprintf(os.Stderr, "streamprobe: duplicate ACK reports applied=%d, original said %d\n", ack2.Applied, ack.Applied)
+		os.Exit(1)
+	}
+	fmt.Printf("streamprobe: replay of seq %d answered as duplicate, nothing re-applied\n", ack2.Seq)
+}
+
+// sendOnce performs one full SKSP session: dial, header exchange, one
+// DATA frame, one response. REJECTs and ERRORs are returned as errors
+// (the probe is a one-shot check, not a retrying client).
+func sendOnce(addr string, d *wire.Data, timeout time.Duration) (wire.Ack, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return wire.Ack{}, err
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(timeout))
+	w, rd := wire.NewWriter(nc), wire.NewReader(nc)
+	if err := w.WriteHeader(); err != nil {
+		return wire.Ack{}, err
+	}
+	if err := w.WriteData(d); err != nil {
+		return wire.Ack{}, err
+	}
+	if err := w.Flush(); err != nil {
+		return wire.Ack{}, err
+	}
+	if err := rd.ReadHeader(); err != nil {
+		return wire.Ack{}, fmt.Errorf("header exchange: %w", err)
+	}
+	ft, payload, err := rd.Next()
+	if err != nil {
+		return wire.Ack{}, err
+	}
+	switch ft {
+	case wire.FrameAck:
+		return wire.DecodeAck(payload)
+	case wire.FrameReject:
+		rej, err := wire.DecodeReject(payload)
+		if err != nil {
+			return wire.Ack{}, err
+		}
+		return wire.Ack{}, fmt.Errorf("seq %d rejected, retry after %ds", rej.Seq, rej.RetryAfter)
+	case wire.FrameError:
+		ef, err := wire.DecodeError(payload)
+		if err != nil {
+			return wire.Ack{}, err
+		}
+		return wire.Ack{}, fmt.Errorf("seq %d permanent error: %s", ef.Seq, ef.Msg)
+	default:
+		return wire.Ack{}, fmt.Errorf("unexpected frame type %d", ft)
+	}
+}

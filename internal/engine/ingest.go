@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"skimsketch/internal/monitor"
 	"skimsketch/internal/stream"
@@ -71,6 +72,35 @@ type ingestItem struct {
 	// tenant is the pending-gauge owner for count-carrying items.
 	tenant  *tenantState
 	barrier *sync.WaitGroup
+	// done, when non-nil, is the refcount of an IngestGroups request with
+	// a release callback; the worker drops one reference after the item's
+	// batch has been folded into every entry.
+	done *groupDone
+}
+
+// groupDone refcounts one IngestGroups request across the items it fans
+// out to. refs starts at 1 (the creator's reference, dropped when the
+// fan-out finishes enqueueing) and each queued item holds one more, so
+// release fires exactly once, after every chunk of every group has been
+// applied — at which point the engine no longer references the caller's
+// update buffers and they may be reused.
+type groupDone struct {
+	refs    atomic.Int64
+	release func()
+}
+
+func newGroupDone(release func()) *groupDone {
+	d := &groupDone{release: release}
+	d.refs.Store(1)
+	return d
+}
+
+func (d *groupDone) add() { d.refs.Add(1) }
+
+func (d *groupDone) done() {
+	if d.refs.Add(-1) == 0 {
+		d.release()
+	}
 }
 
 type ingester struct {
@@ -150,6 +180,9 @@ func (ing *ingester) worker(e *Engine, ch chan ingestItem) {
 			item.tenant.pending.Add(-int64(item.count))
 		}
 		e.metrics.Batches.Add(1)
+		if item.done != nil {
+			item.done.done()
+		}
 	}
 }
 
@@ -168,8 +201,10 @@ func (ing *ingester) barrierLocked() {
 // enqueue fans the batch out to the shards named by route, splitting it
 // into BatchSize chunks. If the pipeline was stopped between routing and
 // enqueueing, it falls back to a synchronous apply (settling the
-// tenant's pending gauge itself).
-func (ing *ingester) enqueue(e *Engine, ts *tenantState, route [][]*synEntry, updates []stream.Update) {
+// tenant's pending gauge itself). done, when non-nil, gains one
+// reference per queued item (the worker drops it after applying); the
+// synchronous fallback applies inline and so adds none.
+func (ing *ingester) enqueue(e *Engine, ts *tenantState, route [][]*synEntry, updates []stream.Update, done *groupDone) {
 	ing.fanMu.RLock()
 	defer ing.fanMu.RUnlock()
 	if ing.closed {
@@ -202,6 +237,10 @@ func (ing *ingester) enqueue(e *Engine, ts *tenantState, route [][]*synEntry, up
 				item.count = len(chunk)
 				item.tenant = ts
 				counted = true
+			}
+			if done != nil {
+				done.add()
+				item.done = done
 			}
 			e.metrics.QueueDepth.Add(1)
 			ing.chans[shard] <- item
@@ -261,16 +300,53 @@ func (t *Tenant) IngestBatch(streamName string, updates []stream.Update) error {
 	if len(updates) == 0 {
 		return nil
 	}
+	return t.IngestGroups([]stream.Group{{Name: streamName, Updates: updates}}, nil)
+}
+
+// IngestGroups validates and ingests a multi-stream request of
+// default-tenant update groups; see Tenant.IngestGroups.
+func (e *Engine) IngestGroups(groups []stream.Group, release func()) error {
+	return e.Tenant(DefaultTenant).IngestGroups(groups, release)
+}
+
+// IngestGroups validates and ingests one multi-stream request
+// atomically: every group is validated (stream declared, values in
+// domain) and the tenant's queue-share quota is checked against the
+// request's SUMMED update count before anything is admitted. On error
+// nothing has been applied, enqueued, or counted — a quota rejection
+// (wrapping ErrQuotaExceeded) therefore really means "retry the whole
+// request", never "part of it landed".
+//
+// release, when non-nil, transfers buffer ownership: on a nil return
+// the engine references the groups' Updates slices until every element
+// has been folded into every listening synopsis, and then calls release
+// exactly once — after which the caller may reuse the buffers. On a
+// non-nil return the engine retains nothing and release is never
+// called. A nil release keeps IngestBatch's historical contract (the
+// caller must not reuse the slices).
+func (t *Tenant) IngestGroups(groups []stream.Group, release func()) error {
+	total := 0
+	for i := range groups {
+		total += len(groups[i].Updates)
+	}
+	if total == 0 {
+		if release != nil {
+			release()
+		}
+		return nil
+	}
 	e := t.e
 	e.mu.Lock()
-	info, ok := e.streams[nsKey{t.name, streamName}]
-	if !ok {
-		e.mu.Unlock()
-		return fmt.Errorf("engine: unknown stream %q", streamName)
-	}
-	if err := stream.Validate(updates, info.domain); err != nil {
-		e.mu.Unlock()
-		return fmt.Errorf("engine: stream %q: %w", streamName, err)
+	for i := range groups {
+		info, ok := e.streams[nsKey{t.name, groups[i].Name}]
+		if !ok {
+			e.mu.Unlock()
+			return fmt.Errorf("engine: unknown stream %q", groups[i].Name)
+		}
+		if err := stream.Validate(groups[i].Updates, info.domain); err != nil {
+			e.mu.Unlock()
+			return fmt.Errorf("engine: stream %q: %w", groups[i].Name, err)
+		}
 	}
 	ing := e.ing
 	shards := 1
@@ -280,34 +356,55 @@ func (t *Tenant) IngestBatch(streamName string, updates []stream.Update) error {
 	ts := e.tenantLocked(t.name)
 	if ing != nil {
 		if max := ts.quota.MaxPendingUpdates; max > 0 {
-			if pend := ts.pending.Load(); pend+int64(len(updates)) > max {
-				ts.rejected.Add(int64(len(updates)))
-				e.metrics.Rejected.Add(int64(len(updates)))
+			if pend := ts.pending.Load(); pend+int64(total) > max {
+				ts.rejected.Add(int64(total))
+				e.metrics.Rejected.Add(int64(total))
 				e.mu.Unlock()
 				return fmt.Errorf("engine: tenant %q: %d pending + %d batched updates over queue-share quota %d: %w",
-					t.name, pend, len(updates), max, ErrQuotaExceeded)
+					t.name, pend, total, max, ErrQuotaExceeded)
 			}
 		}
 	}
-	route := e.routeLocked(t.name, streamName, shards)
-	info.count += int64(len(updates))
-	e.metrics.UpdatesEnqueued.Add(int64(len(updates)))
+	// Admission is now certain: capture routes and bump counters for every
+	// group under the same e.mu hold, so no concurrent request can wedge
+	// between the groups of this one.
+	var stackRoutes [4][][]*synEntry
+	routes := stackRoutes[:0]
+	for i := range groups {
+		routes = append(routes, e.routeLocked(t.name, groups[i].Name, shards))
+		e.streams[nsKey{t.name, groups[i].Name}].count += int64(len(groups[i].Updates))
+	}
+	e.metrics.UpdatesEnqueued.Add(int64(total))
 	if ing == nil {
 		// Synchronous path: apply inline under the exclusive apply lock,
 		// with e.mu held like Update.
 		e.applyMu.Lock()
-		for _, en := range route[0] {
-			en.updateBatch(updates)
+		for i := range groups {
+			for _, en := range routes[i][0] {
+				en.updateBatch(groups[i].Updates)
+			}
 		}
 		e.applyMu.Unlock()
-		e.metrics.UpdatesApplied.Add(int64(len(updates)))
-		e.metrics.Batches.Add(1)
+		e.metrics.UpdatesApplied.Add(int64(total))
+		e.metrics.Batches.Add(int64(len(groups)))
 		e.mu.Unlock()
+		if release != nil {
+			release()
+		}
 		return nil
 	}
-	ts.pending.Add(int64(len(updates)))
+	ts.pending.Add(int64(total))
 	e.mu.Unlock()
-	ing.enqueue(e, ts, route, updates)
+	var done *groupDone
+	if release != nil {
+		done = newGroupDone(release)
+	}
+	for i := range groups {
+		ing.enqueue(e, ts, routes[i], groups[i].Updates, done)
+	}
+	if done != nil {
+		done.done() // drop the creator reference
+	}
 	return nil
 }
 

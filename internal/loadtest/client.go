@@ -14,12 +14,15 @@ package loadtest
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"skimsketch/internal/distributed"
@@ -51,6 +54,41 @@ type Client struct {
 	// package's default jittered-exponential policy; the Retry-After
 	// hint from the server acts as a floor on every delay.
 	Backoff distributed.Backoff
+	// Idem, when non-nil, stamps every /update batch with an
+	// Idempotency-Key header so a retry after a lost response (connection
+	// reset mid-reply, proxy timeout) is answered from the server's
+	// dedupe window instead of applying the batch twice. A pointer so
+	// ForTenant's value copies share one sequence.
+	Idem *IdemSource
+}
+
+// IdemSource mints Idempotency-Key values ("clientID:seq") for /update
+// batches. One source per logical client process; safe for concurrent
+// use from many workers and shared across ForTenant copies.
+type IdemSource struct {
+	clientID string
+	seq      atomic.Uint64
+}
+
+// NewIdemSource returns a key source. An empty clientID gets a random
+// one, unique per process incarnation — a restarted harness must not
+// collide with its predecessor's live window entries.
+func NewIdemSource(clientID string) *IdemSource {
+	if clientID == "" {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			panic("loadtest: crypto/rand unavailable: " + err.Error())
+		}
+		clientID = "loadgen-" + hex.EncodeToString(b[:])
+	}
+	return &IdemSource{clientID: clientID}
+}
+
+// Next mints the key for one logical batch. Callers compute it once
+// before the retry loop and reuse it on every attempt — that identity
+// across attempts is the whole point.
+func (s *IdemSource) Next() string {
+	return s.clientID + ":" + strconv.FormatUint(s.seq.Add(1), 10)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -178,6 +216,10 @@ type SendOutcome struct {
 	Rejected429 int64
 	// Applied is the update count the final 2xx response acknowledged.
 	Applied int64
+	// Deduplicated reports that the final 2xx was answered from the
+	// server's idempotency window: an earlier attempt had already applied
+	// the batch and its response was lost in transit.
+	Deduplicated bool
 }
 
 // SendUpdates POSTs one batch to /update, retrying 429 responses under
@@ -193,12 +235,22 @@ func (c *Client) SendUpdates(ctx context.Context, batch []Update, hist *stats.Hi
 	if err != nil {
 		return out, err
 	}
+	// The key is minted once per logical batch, BEFORE the retry loop:
+	// every attempt carries the same identity, so the server can tell a
+	// replay (response lost) from a new batch.
+	var idemKey string
+	if c.Idem != nil {
+		idemKey = c.Idem.Next()
+	}
 	attempt := func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/update"), bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if idemKey != "" {
+			req.Header.Set("Idempotency-Key", idemKey)
+		}
 		t0 := time.Now()
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
@@ -212,7 +264,7 @@ func (c *Client) SendUpdates(ctx context.Context, batch []Update, hist *stats.Hi
 		out.Attempts++
 		if resp.StatusCode == http.StatusTooManyRequests {
 			out.Rejected429++
-			return &retryAfterError{delay: parseRetryAfter(resp.Header.Get("Retry-After"))}
+			return &retryAfterError{delay: parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())}
 		}
 		if resp.StatusCode/100 != 2 {
 			return &permanentError{fmt.Errorf("loadtest: /update: %s: %s", resp.Status, bytes.TrimSpace(data))}
@@ -221,12 +273,14 @@ func (c *Client) SendUpdates(ctx context.Context, batch []Update, hist *stats.Hi
 			return &permanentError{readErr}
 		}
 		var ack struct {
-			Applied int64 `json:"applied"`
+			Applied      int64 `json:"applied"`
+			Deduplicated bool  `json:"deduplicated"`
 		}
 		if err := json.Unmarshal(data, &ack); err != nil {
 			return &permanentError{err}
 		}
 		out.Applied = ack.Applied
+		out.Deduplicated = ack.Deduplicated
 		return nil
 	}
 	err = c.retryWithHint(ctx, attempt)
@@ -245,17 +299,40 @@ type permanentError struct{ err error }
 func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
-// parseRetryAfter reads a Retry-After seconds value; unparseable or
-// missing hints yield 0 (pure Backoff pacing).
-func parseRetryAfter(v string) time.Duration {
+// maxRetryAfter caps how long a server hint can stall a worker: a
+// misconfigured (or adversarial) Retry-After of an hour must not wedge
+// the harness, whose own backoff tops out in seconds.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter reads a Retry-After hint in either RFC 9110 form:
+// delay-seconds ("120") or an HTTP-date ("Fri, 08 Aug 2026 17:00:00
+// GMT", evaluated against now). Unparseable, missing, or already-past
+// hints yield 0 (pure Backoff pacing); the result is capped at
+// maxRetryAfter. The old parser silently dropped HTTP-date hints to 0,
+// which turned a server asking for a pause into an immediate
+// hammer-retry.
+func parseRetryAfter(v string, now time.Time) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if when, err := http.ParseTime(v); err == nil {
+		d = when.Sub(now)
+	} else {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if d < 0 {
+		return 0
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 // retryWithHint extends distributed.Backoff's jittered-exponential

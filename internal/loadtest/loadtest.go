@@ -8,7 +8,20 @@ import (
 	"time"
 
 	"skimsketch/internal/stats"
+	"skimsketch/internal/stream"
+	wclient "skimsketch/internal/wire/client"
 	"skimsketch/internal/workload"
+)
+
+// Ingest protocols the harness can drive. Setup, flush, and /stats
+// reconciliation always ride HTTP — only the hot batch path switches.
+const (
+	// ProtoJSON is the JSON-over-HTTP /update path (the default).
+	ProtoJSON = "json"
+	// ProtoSkimp is the SKSP binary streaming protocol (docs/FORMATS.md):
+	// persistent connections, length-prefixed CRC'd frames, idempotent
+	// replay. Requires Config.StreamAddr.
+	ProtoSkimp = "skimp"
 )
 
 // Config tunes one harness run. The zero value is not runnable; see
@@ -64,6 +77,12 @@ type Config struct {
 	QueryWorkers int    `json:"queryWorkers"`
 	QueryName    string `json:"queryName"`
 
+	// Proto selects the ingest wire protocol: ProtoJSON (default) or
+	// ProtoSkimp. StreamAddr is the sketchd -listen.stream host:port,
+	// required for ProtoSkimp.
+	Proto      string `json:"proto,omitempty"`
+	StreamAddr string `json:"streamAddr,omitempty"`
+
 	// Client carries the HTTP transport and 429 backoff policy.
 	Client Client `json:"-"`
 }
@@ -105,7 +124,91 @@ func (c *Config) applyDefaults() error {
 	if c.QueryWorkers > 0 && c.QueryName == "" {
 		return fmt.Errorf("loadtest: QueryWorkers requires QueryName")
 	}
+	switch c.Proto {
+	case "":
+		c.Proto = ProtoJSON
+	case ProtoJSON:
+	case ProtoSkimp:
+		if c.StreamAddr == "" {
+			return fmt.Errorf("loadtest: proto %q requires StreamAddr", ProtoSkimp)
+		}
+	default:
+		return fmt.Errorf("loadtest: unknown proto %q (want %q or %q)", c.Proto, ProtoJSON, ProtoSkimp)
+	}
 	return nil
+}
+
+// batchSender abstracts the ingest hot path over the two wire
+// protocols. Send delivers one batch for the tenant index (0 on
+// single-tenant runs), recording every attempt's latency into hist, and
+// returns the unified accounting the workers tally.
+type batchSender interface {
+	Send(ctx context.Context, tenant int, updates []Update, hist *stats.Histogram) (SendOutcome, error)
+	Close() error
+}
+
+// jsonSender drives /update with one tenant-scoped HTTP client each.
+type jsonSender struct{ clients []*Client }
+
+func (s *jsonSender) Send(ctx context.Context, tenant int, updates []Update, hist *stats.Histogram) (SendOutcome, error) {
+	return s.clients[tenant].SendUpdates(ctx, updates, hist)
+}
+
+func (s *jsonSender) Close() error { return nil }
+
+// skimpSender drives the SKSP binary protocol through one shared
+// persistent connection; Sends from all workers pipeline onto it and
+// are matched to replies by seq, which is the protocol's whole
+// throughput story — no per-batch connection or HTTP framing.
+type skimpSender struct {
+	conn *wclient.Conn
+	// tenants maps the worker's tenant index to a namespace; nil means
+	// single-tenant (empty name = server default).
+	tenants []string
+}
+
+func (s *skimpSender) Send(ctx context.Context, tenant int, updates []Update, hist *stats.Histogram) (SendOutcome, error) {
+	name := ""
+	if s.tenants != nil {
+		name = s.tenants[tenant]
+	}
+	var onAttempt func(time.Duration)
+	if hist != nil {
+		onAttempt = func(d time.Duration) { hist.Record(int64(d)) }
+	}
+	out, err := s.conn.SendTimed(ctx, name, toGroups(updates), onAttempt)
+	return SendOutcome{
+		Attempts:     int64(out.Attempts),
+		Rejected429:  int64(out.Rejected429),
+		Applied:      out.Applied,
+		Deduplicated: out.Deduplicated,
+	}, err
+}
+
+func (s *skimpSender) Close() error { return s.conn.Close() }
+
+// toGroups converts a wire batch to the engine's grouped form, one
+// group per distinct stream in first-appearance order, preserving
+// update order within each stream (same contract as sketchd's own
+// /update grouping). A nil Weight means insert (+1), like the JSON
+// decoder.
+func toGroups(updates []Update) []stream.Group {
+	byStream := make(map[string]int, 4)
+	groups := make([]stream.Group, 0, 4)
+	for _, u := range updates {
+		i, ok := byStream[u.Stream]
+		if !ok {
+			i = len(groups)
+			byStream[u.Stream] = i
+			groups = append(groups, stream.Group{Name: u.Stream})
+		}
+		w := int64(1)
+		if u.Weight != nil {
+			w = *u.Weight
+		}
+		groups[i].Updates = append(groups[i].Updates, stream.Update{Value: u.Value, Weight: w})
+	}
+	return groups
 }
 
 // SideResult aggregates one side (ingest or query) of a run. The
@@ -269,6 +372,19 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// The hot-path sender: HTTP /update by default, or one shared SKSP
+	// connection all workers pipeline onto. Setup and reconciliation
+	// below stay on HTTP either way, so the /stats identities hold
+	// regardless of protocol.
+	var sender batchSender = &jsonSender{clients: sendClients}
+	if cfg.Proto == ProtoSkimp {
+		sender = &skimpSender{
+			conn:    wclient.New(cfg.StreamAddr, wclient.Options{Backoff: cfg.Client.Backoff}),
+			tenants: tenants,
+		}
+	}
+	defer sender.Close()
+
 	// Pre-run server counters: subtracted from the post-run fetch so the
 	// reported Server view covers exactly this run.
 	pre, err := client.Stats(ctx)
@@ -352,7 +468,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				// Deliveries use ctx, not runCtx: when the duration
 				// expires mid-flight, in-queue batches still finish so
 				// accounting reconciles exactly.
-				out, err := sendClients[item.tenant].SendUpdates(ctx, item.updates, &tally.hist)
+				out, err := sender.Send(ctx, item.tenant, item.updates, &tally.hist)
 				tally.requests += out.Attempts
 				tally.rejected429 += out.Rejected429
 				if out.Attempts > 1 {

@@ -62,6 +62,7 @@ type ConfigEcho struct {
 	QueryWorkers int      `json:"queryWorkers"`
 	QueryName    string   `json:"queryName,omitempty"`
 	Tenants      int      `json:"tenants,omitempty"`
+	Proto        string   `json:"proto,omitempty"`
 }
 
 func echoConfig(c Config) ConfigEcho {
@@ -70,7 +71,7 @@ func echoConfig(c Config) ConfigEcho {
 		Domain: c.Domain, Seed: c.Seed, Rate: c.Rate, Burst: c.Burst,
 		Workers: c.Workers, Batch: c.Batch, QueueDepth: c.QueueDepth,
 		QueryWorkers: c.QueryWorkers, QueryName: c.QueryName,
-		Tenants: c.Tenants,
+		Tenants: c.Tenants, Proto: c.Proto,
 	}
 }
 

@@ -22,6 +22,15 @@ func Insert(v uint64) Update { return Update{Value: v, Weight: 1} }
 // Delete returns a delete update for v.
 func Delete(v uint64) Update { return Update{Value: v, Weight: -1} }
 
+// Group is one stream's contiguous slice of a multi-stream batch: the
+// unit in which wire protocols (JSON /update bodies, SKSP data frames)
+// hand updates to the engine. Updates may alias a caller-owned buffer;
+// ownership is whatever contract the consumer documents.
+type Group struct {
+	Name    string
+	Updates []Update
+}
+
 // Sink consumes stream updates. Every synopsis in the repository
 // implements Sink, so any generator can feed any summary.
 type Sink interface {

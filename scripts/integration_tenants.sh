@@ -123,7 +123,7 @@ grep -qi '^retry-after:' "$HDRS" || die "429 without Retry-After header"
 curl -fsS -X POST "$BASE/flush" >/dev/null
 
 ST_BETA2="$(curl -fsS "$BASE/t/beta/stats")"
-[[ "$(field "$ST_BETA2" rejected)" -eq 100 ]] || die "beta rejected $(field "$ST_BETA2" rejected), want 100 (the F group; G was never attempted)"
+[[ "$(field "$ST_BETA2" rejected)" -eq 200 ]] || die "beta rejected $(field "$ST_BETA2" rejected), want 200 (admission is atomic: the whole 100 F + 100 G batch is rejected)"
 [[ "$(stream_count "$ST_BETA2" F)" -eq "$BETA_N" ]] || die "rejected batch leaked into beta's counts"
 ST_ALPHA2="$(curl -fsS "$BASE/t/alpha/stats")"
 [[ "$(field "$ST_ALPHA2" rejected)" -eq 0 ]] || die "beta's quota charged alpha"
