@@ -450,7 +450,7 @@ func parseIdempotencyKey(r *http.Request) (client string, seq uint64, ok bool, e
 	}
 	seq, err = strconv.ParseUint(key[i+1:], 10, 64)
 	if err != nil {
-		return "", 0, false, fmt.Errorf("malformed Idempotency-Key %q: seq: %v", key, err)
+		return "", 0, false, fmt.Errorf("malformed Idempotency-Key %q: seq: %w", key, err)
 	}
 	if len(key) > 2*wire.MaxNameLen {
 		return "", 0, false, fmt.Errorf("Idempotency-Key longer than %d bytes", 2*wire.MaxNameLen)

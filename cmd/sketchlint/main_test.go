@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,7 +34,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"lockscope", "detseed", "atomicmix", "widenmul"} {
+	for _, name := range []string{
+		"lockscope", "detseed", "atomicmix", "widenmul",
+		"poolown", "ctxleak", "alloclen", "errctr",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
@@ -63,6 +67,83 @@ func TestFindingsExitNonZero(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "finding(s)") {
 		t.Errorf("stderr summary missing: %q", errOut)
+	}
+}
+
+// TestNewAnalyzerProbes is the injected-violation check for each
+// analyzer added in this PR: running it alone over its flagging
+// fixture must exit 1 with tagged findings — proof that a real
+// violation fails the CI job, not just the unit tests.
+func TestNewAnalyzerProbes(t *testing.T) {
+	for _, name := range []string{"poolown", "ctxleak", "alloclen", "errctr"} {
+		t.Run(name, func(t *testing.T) {
+			code, out, errOut := capture(t, "-analyzers", name,
+				"../../internal/lint/testdata/src/"+name)
+			if code != 1 {
+				t.Fatalf("exit = %d (stderr %q), want 1", code, errOut)
+			}
+			if !strings.Contains(out, "["+name+"]") {
+				t.Errorf("findings output missing [%s] tag:\n%s", name, out)
+			}
+		})
+	}
+}
+
+// TestCleanFixturesAllAnalyzers runs the full eight-analyzer suite
+// over every clean fixture at once: no analyzer may fire on another's
+// sanctioned patterns.
+func TestCleanFixturesAllAnalyzers(t *testing.T) {
+	args := []string{}
+	for _, dir := range []string{
+		"detseed_clean", "poolown_clean", "ctxleak_clean", "alloclen_clean", "errctr_clean",
+	} {
+		args = append(args, "../../internal/lint/testdata/src/"+dir)
+	}
+	code, out, errOut := capture(t, args...)
+	if code != 0 {
+		t.Fatalf("clean fixtures exited %d:\n%s%s", code, out, errOut)
+	}
+}
+
+// TestJSONOutput checks the -json contract CI's findings artifact
+// depends on: exit code unchanged, stdout a parseable array of
+// {file, line, col, analyzer, message} records.
+func TestJSONOutput(t *testing.T) {
+	code, out, errOut := capture(t, "-json", "-analyzers", "errctr",
+		"../../internal/lint/testdata/src/errctr")
+	if code != 1 {
+		t.Fatalf("exit = %d (stderr %q), want 1", code, errOut)
+	}
+	var records []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &records); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(records) == 0 {
+		t.Fatal("-json produced no records over the flagging fixture")
+	}
+	for _, r := range records {
+		if r.File == "" || r.Line == 0 || r.Analyzer != "errctr" || r.Message == "" {
+			t.Errorf("incomplete record: %+v", r)
+		}
+	}
+}
+
+// TestJSONOutputCleanIsEmptyArray pins the clean shape: an empty array
+// (not null, not nothing), so artifact consumers can always parse it.
+func TestJSONOutputCleanIsEmptyArray(t *testing.T) {
+	code, out, errOut := capture(t, "-json", "-analyzers", "poolown",
+		"../../internal/lint/testdata/src/poolown_clean")
+	if code != 0 {
+		t.Fatalf("exit = %d (stderr %q), want 0", code, errOut)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out)
 	}
 }
 

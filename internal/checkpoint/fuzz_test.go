@@ -1,0 +1,64 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// envelope builds a well-formed SKCP envelope around payload.
+func envelope(payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := Encode(&buf, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCheckpointDecode hammers the SKCP envelope validator with
+// corrupted, truncated, and padded files: it must never panic, never
+// allocate from an unvalidated length, and only ever return a payload
+// whose declared length and CRC both check out.
+func FuzzCheckpointDecode(f *testing.F) {
+	// Seeds: a valid envelope plus each corruption class Decode guards
+	// against, so the fuzzer starts on every branch of the validator.
+	valid := envelope([]byte(`{"schema":"skimsketch/checkpoint/1"}`))
+	f.Add(valid)
+	f.Add(envelope(nil))
+	f.Add(valid[:headerSize-1])                 // too short for the header
+	f.Add(append([]byte("SKXX"), valid[4:]...)) // bad magic
+	badVer := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badVer[4:8], 99)
+	f.Add(badVer) // unsupported version
+	torn := append([]byte(nil), valid[:len(valid)-3]...)
+	f.Add(torn) // declared length longer than the file
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(huge[8:16], 1<<62)
+	f.Add(huge) // absurd declared length, must be rejected before any allocation
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-1] ^= 0xff
+	f.Add(badCRC)           // payload bit-flip
+	f.Add(append(valid, 0)) // trailing padding
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted: the envelope invariants must actually hold.
+		if len(data) < headerSize || string(data[0:4]) != Magic {
+			t.Fatalf("accepted %d-byte file with bad framing", len(data))
+		}
+		if declared := binary.LittleEndian.Uint64(data[8:16]); declared != uint64(len(payload)) {
+			t.Fatalf("declared length %d, returned payload %d", declared, len(payload))
+		}
+		if want := binary.LittleEndian.Uint32(data[16:20]); want != crc32.ChecksumIEEE(payload) {
+			t.Fatalf("accepted payload with CRC mismatch")
+		}
+		// And a round-trip through Encode must reproduce the file.
+		if again := envelope(payload); !bytes.Equal(again, data) {
+			t.Fatalf("Encode(Decode(x)) != x: %d vs %d bytes", len(again), len(data))
+		}
+	})
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"skimsketch/internal/lint"
+	"skimsketch/internal/lint/analysistest"
+)
+
+func TestAllocLen(t *testing.T) {
+	analysistest.Run(t, lint.AllocLen, "testdata/src/alloclen")
+}
+
+// TestAllocLenCleanPatterns covers the validate-before-alloc forms —
+// named-constant bounds, remaining-input bounds, constant and
+// len()-derived sizes. No want comments: any diagnostic fails the run.
+func TestAllocLenCleanPatterns(t *testing.T) {
+	analysistest.Run(t, lint.AllocLen, "testdata/src/alloclen_clean")
+}

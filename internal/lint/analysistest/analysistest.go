@@ -106,13 +106,13 @@ func collectWants(pkg *lint.Package, file *ast.File) ([]*expectation, error) {
 				} else {
 					p, err := strconv.Unquote(arg)
 					if err != nil {
-						return nil, fmt.Errorf("line %d: bad want string %s: %v", line, arg, err)
+						return nil, fmt.Errorf("line %d: bad want string %s: %w", line, arg, err)
 					}
 					pattern = p
 				}
 				re, err := regexp.Compile(pattern)
 				if err != nil {
-					return nil, fmt.Errorf("line %d: bad want regexp %q: %v", line, pattern, err)
+					return nil, fmt.Errorf("line %d: bad want regexp %q: %w", line, pattern, err)
 				}
 				exps = append(exps, &expectation{line: line, re: re})
 			}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"skimsketch/internal/lint"
+	"skimsketch/internal/lint/analysistest"
+)
+
+func TestCtxLeak(t *testing.T) {
+	analysistest.Run(t, lint.CtxLeak, "testdata/src/ctxleak")
+}
+
+// TestCtxLeakCleanPatterns covers the stoppable shapes — context
+// selects, done channels, WaitGroup joins, stopped tickers, dials with
+// deadlines. No want comments: any diagnostic fails the run.
+func TestCtxLeakCleanPatterns(t *testing.T) {
+	analysistest.Run(t, lint.CtxLeak, "testdata/src/ctxleak_clean")
+}

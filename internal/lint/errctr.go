@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrCtr enforces the error contracts the retry/backpressure machinery
+// is built on. The whole 429 story — atomic admission, Retry-After
+// floors, exactly-once replay — only composes if every layer honors
+// three conventions:
+//
+//  1. sentinel errors travel wrapped: ErrQuotaExceeded crosses three
+//     packages inside fmt.Errorf("...: %w", ...) chains, so comparing
+//     with == instead of errors.Is silently stops matching the moment
+//     anyone adds context. Any ==/!= against a declared Err* variable
+//     is flagged (err == nil and io.EOF stay idiomatic).
+//  2. every 429 carries its hint: an http.StatusTooManyRequests
+//     WriteHeader without a Retry-After header in the same function
+//     strands well-behaved clients in blind exponential backoff, and a
+//     wire.Reject composite literal without a RetryAfter field is the
+//     same bug on the binary protocol.
+//  3. error context wraps: fmt.Errorf whose final verb formats an
+//     error with %v or %s severs the chain errors.Is/As walks; use %w.
+var ErrCtr = &Analyzer{
+	Name: "errctr",
+	Doc:  "flags == on Err* sentinels, 429s without Retry-After, and fmt.Errorf %v on errors",
+	Run:  runErrCtr,
+}
+
+func runErrCtr(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRetryAfterPairing(pass, fd.Body)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.CompositeLit:
+				checkRejectLiteral(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkSentinelCompare flags err == ErrSomething / err != ErrSomething.
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		sentinel, other := pair[0], pair[1]
+		name, obj := sentinelErr(pass, sentinel)
+		if obj == nil {
+			continue
+		}
+		// The other side must be an error too (don't flag comparisons of
+		// unrelated values that happen to sit next to a sentinel name).
+		tv, ok := pass.Info.Types[other]
+		if !ok || tv.Type == nil || !types.Implements(tv.Type, errorInterface) {
+			continue
+		}
+		pass.Reportf(be.Pos(), "sentinel error %s compared with %s; wrapped errors never match — use errors.Is(err, %s)", name, be.Op, name)
+		return
+	}
+}
+
+// sentinelErr reports whether e denotes a declared error variable whose
+// name begins with "Err" (the sentinel convention).
+func sentinelErr(pass *Pass, e ast.Expr) (string, types.Object) {
+	var id *ast.Ident
+	display := ""
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id, display = x, x.Name
+	case *ast.SelectorExpr:
+		id = x.Sel
+		if pkg, ok := x.X.(*ast.Ident); ok {
+			display = pkg.Name + "." + x.Sel.Name
+		} else {
+			display = x.Sel.Name
+		}
+	default:
+		return "", nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return "", nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !strings.HasPrefix(obj.Name(), "Err") || len(obj.Name()) < 4 {
+		return "", nil
+	}
+	if !types.Implements(v.Type(), errorInterface) {
+		return "", nil
+	}
+	// Only package-level sentinels count; a local err variable named
+	// ErrX would be bizarre, but fields are excluded deliberately.
+	if v.Parent() == nil {
+		return "", nil
+	}
+	return display, obj
+}
+
+// checkRetryAfterPairing flags functions that write an HTTP 429 status
+// without setting a Retry-After header anywhere in the same function.
+func checkRetryAfterPairing(pass *Pass, body *ast.BlockStmt) {
+	var writes429 []token.Pos
+	hasRetryAfter := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// w.Header().Set("Retry-After", ...) — any call with the literal
+		// "Retry-After" string counts (Set, Add, helpers).
+		for _, arg := range call.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok && lit.Kind == token.STRING &&
+				strings.EqualFold(strings.Trim(lit.Value, "`\""), "Retry-After") {
+				hasRetryAfter = true
+			}
+		}
+		// http.Error / w.WriteHeader with a 429 status.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 {
+			if is429(pass, call.Args[0]) {
+				writes429 = append(writes429, call.Pos())
+			}
+		}
+		if f := calleeFunc(pass.Info, call); f != nil && f.Pkg() != nil &&
+			f.Pkg().Path() == "net/http" && f.Name() == "Error" && len(call.Args) == 3 {
+			if is429(pass, call.Args[2]) {
+				writes429 = append(writes429, call.Pos())
+			}
+		}
+		return true
+	})
+	if hasRetryAfter {
+		return
+	}
+	for _, pos := range writes429 {
+		pass.Reportf(pos, "429 written without a Retry-After header in the same function; clients are left guessing the backoff (see the sketchd load-shed contract)")
+	}
+}
+
+// is429 reports whether e is the constant 429 (or
+// http.StatusTooManyRequests).
+func is429(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == 429
+}
+
+// checkRejectLiteral flags wire.Reject{...} composite literals that
+// leave RetryAfter zero: the binary protocol's 429 must carry its hint
+// just like the HTTP one.
+func checkRejectLiteral(pass *Pass, cl *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Reject" {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	hasField := false
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "RetryAfter" {
+			hasField = true
+		}
+	}
+	if !hasField {
+		return
+	}
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "RetryAfter" {
+				// Present — even an explicit 0 is a decision, not an
+				// omission; the zero check below only catches absence.
+				return
+			}
+		} else {
+			// Positional literal: every field is set.
+			return
+		}
+	}
+	pass.Reportf(cl.Pos(), "Reject literal without a RetryAfter hint; the binary 429 must tell the client when to resend")
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// with a non-wrapping verb in final position — the "...: %v" idiom that
+// should be "...: %w".
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "fmt" || f.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format := strings.Trim(lit.Value, "`\"")
+	verbs := formatVerbs(format)
+	if len(verbs) != len(call.Args)-1 {
+		return // indexed or starred verbs; don't guess
+	}
+	last := len(verbs) - 1
+	if verbs[last] != 'v' && verbs[last] != 's' {
+		return
+	}
+	argTV, ok := pass.Info.Types[call.Args[last+1]]
+	if !ok || argTV.Type == nil || !types.Implements(argTV.Type, errorInterface) {
+		return
+	}
+	pass.Reportf(call.Pos(), "fmt.Errorf formats the error with %%%c, severing the chain errors.Is/As walks; wrap it with %%w", verbs[last])
+}
+
+// formatVerbs extracts the verb letters of a format string, in order,
+// skipping %%.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		if format[i] == '[' || format[i] == '*' {
+			return nil // indexed/starred args: bail out
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}

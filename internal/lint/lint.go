@@ -25,7 +25,7 @@ import (
 // Analyzer is one named check over a type-checked package.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and suppression
-	// comments ("//sketchlint:ignore <name> <reason>").
+	// comments ("//sketchlint:ignore <name> -- <reason>").
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
@@ -70,9 +70,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 //
 // A finding is suppressed by a comment of the form
 //
-//	//sketchlint:ignore <name>[,<name>...] <reason>
+//	//sketchlint:ignore <name>[,<name>...] -- <reason>
 //
-// placed on the flagged line or on the line immediately above it.
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory: a bare or reasonless directive suppresses
+// nothing and is itself reported as a finding (analyzer "directive"),
+// so a silent ignore cannot slip through review.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -103,8 +106,15 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// ignoreDirective matches "//sketchlint:ignore name1,name2 reason".
-var ignoreDirective = regexp.MustCompile(`^//sketchlint:ignore\s+([A-Za-z0-9_,]+)`)
+// ignorePrefix detects any attempt at a suppression directive, valid
+// or not, so malformed ones can be reported rather than silently doing
+// nothing (or silently suppressing without a reason).
+var ignorePrefix = regexp.MustCompile(`^//\s*sketchlint:ignore\b(.*)$`)
+
+// ignoreDirective matches the required directive form:
+// "//sketchlint:ignore name1,name2 -- reason". The reason must be
+// non-empty after the "--" separator.
+var ignoreDirective = regexp.MustCompile(`^//sketchlint:ignore\s+([A-Za-z0-9_,]+)\s+--\s+(\S.*)$`)
 
 func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
 	// file → line → set of suppressed analyzer names ("" means none).
@@ -127,8 +137,20 @@ func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				if !ignorePrefix.MatchString(c.Text) {
+					continue
+				}
 				m := ignoreDirective.FindStringSubmatch(c.Text)
 				if m == nil {
+					// A directive that names no analyzer or gives no
+					// "-- reason" suppresses nothing and is itself a
+					// finding: a silent ignore is a future bug's hiding
+					// spot.
+					diags = append(diags, Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "directive",
+						Message:  fmt.Sprintf("malformed suppression %q: the required form is //sketchlint:ignore <analyzer>[,<analyzer>] -- <reason>", c.Text),
+					})
 					continue
 				}
 				names := strings.Split(m[1], ",")
@@ -152,9 +174,11 @@ func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
 	return kept
 }
 
-// All returns every sketchlint analyzer in a stable order.
+// All returns every sketchlint analyzer in a stable order: the PR-4
+// concurrency/determinism suite first, then the wire/stream/quota-era
+// ownership and contract analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{LockScope, DetSeed, AtomicMix, WidenMul}
+	return []*Analyzer{LockScope, DetSeed, AtomicMix, WidenMul, PoolOwn, CtxLeak, AllocLen, ErrCtr}
 }
 
 // ByName resolves a comma-separated analyzer selection.

@@ -12,8 +12,8 @@ func TestByName(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 4 {
-		t.Fatalf("All() has %d analyzers, want 4", len(all))
+	if len(all) != 8 {
+		t.Fatalf("All() has %d analyzers, want 8", len(all))
 	}
 	names := make([]string, 0, len(all))
 	for _, a := range all {
@@ -23,7 +23,7 @@ func TestByName(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	got := strings.Join(names, ",")
-	if got != "lockscope,detseed,atomicmix,widenmul" {
+	if got != "lockscope,detseed,atomicmix,widenmul,poolown,ctxleak,alloclen,errctr" {
 		t.Fatalf("analyzer order = %s", got)
 	}
 
@@ -37,6 +37,46 @@ func TestByName(t *testing.T) {
 
 	if _, err := lint.ByName("nosuch"); err == nil {
 		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+// TestIgnoreDirective pins the hardened suppression contract: only the
+// full form "//sketchlint:ignore <analyzer>[,<analyzer>] -- <reason>"
+// suppresses a finding, and any attempt at the directive that omits
+// the analyzer name or the reason suppresses nothing and is reported
+// as a finding itself (analyzer "directive").
+func TestIgnoreDirective(t *testing.T) {
+	pkgs, err := lint.LoadPackages("./testdata/src/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	diags := lint.Run(pkgs[0], []*lint.Analyzer{lint.ErrCtr})
+
+	var directive, errctr int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			directive++
+			if !strings.Contains(d.Message, "malformed suppression") {
+				t.Errorf("directive finding message = %q", d.Message)
+			}
+		case "errctr":
+			errctr++
+		default:
+			t.Errorf("unexpected analyzer in %s", d)
+		}
+	}
+	// reasonless, bare and spaced each yield a directive finding; their
+	// three comparisons plus wrongName's survive unsuppressed; the two
+	// well-formed directives suppress theirs.
+	if directive != 3 {
+		t.Errorf("directive findings = %d, want 3:\n%v", directive, diags)
+	}
+	if errctr != 4 {
+		t.Errorf("surviving errctr findings = %d, want 4:\n%v", errctr, diags)
 	}
 }
 

@@ -62,7 +62,7 @@ func LoadPackages(patterns ...string) ([]*Package, error) {
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("lint: package %s: %s", p.ImportPath, p.Error.Err)
@@ -99,7 +99,7 @@ func LoadPackages(patterns ...string) ([]*Package, error) {
 		for _, name := range t.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
-				return nil, fmt.Errorf("lint: %v", err)
+				return nil, fmt.Errorf("lint: %w", err)
 			}
 			files = append(files, f)
 		}
@@ -115,7 +115,7 @@ func LoadPackages(patterns ...string) ([]*Package, error) {
 		}
 		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
+			return nil, fmt.Errorf("lint: type-checking %s: %w", t.ImportPath, err)
 		}
 		pkgs = append(pkgs, &Package{
 			Path:  t.ImportPath,

@@ -58,7 +58,7 @@ func (c *counters) isReady() bool {
 // Suppressed: a constructor-time reset acknowledged via the directive.
 func newCounters() *counters {
 	c := &counters{}
-	//sketchlint:ignore atomicmix not yet shared, plain store is safe here
+	//sketchlint:ignore atomicmix -- not yet shared, plain store is safe here
 	c.applied = 0
 	return c
 }

@@ -1,0 +1,58 @@
+// Fixture for the ctxleak analyzer: goroutines spawned per loop
+// iteration with no way to stop or join them, plus the always-wrong
+// ticker and dial forms.
+package ctxleak
+
+import (
+	"net"
+	"time"
+)
+
+// Bad: one goroutine per accepted connection and nothing can stop it —
+// the spawned function value is opaque, so no termination evidence.
+func acceptLoop(handle func()) {
+	for {
+		go handle() // want `goroutine started inside a loop with no context/done-channel select or WaitGroup registration`
+	}
+}
+
+// Bad: per-retry goroutine whose closure never consults a done signal.
+func retryLoop(work func() error) {
+	for i := 0; i < 5; i++ {
+		go func() { // want `goroutine started inside a loop with no context/done-channel select or WaitGroup registration`
+			_ = work()
+		}()
+	}
+}
+
+// Bad: the named same-package worker has no select, no done channel,
+// no WaitGroup — once spawned per item it can never be drained.
+func pump(ch chan int) {
+	for v := range ch {
+		go sink(v) // want `goroutine started inside a loop with no context/done-channel select or WaitGroup registration`
+	}
+}
+
+func sink(v int) {
+	for {
+		_ = v
+	}
+}
+
+// Bad: time.Tick's ticker can never be stopped.
+func pollTick() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick leaks its ticker`
+}
+
+// Bad: a ticker that is never stopped leaks its timer goroutine.
+func watchForever(tick func()) {
+	t := time.NewTicker(time.Second) // want `time.NewTicker without a Stop in the same function`
+	for range t.C {
+		tick()
+	}
+}
+
+// Bad: a dial with no deadline hangs forever on a black-holed peer.
+func dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `net.Dial has no deadline and can hang forever`
+}

@@ -1,0 +1,94 @@
+// Clean fixture for the ctxleak analyzer: every goroutine spawned in a
+// loop carries termination evidence (context select, done channel, or
+// WaitGroup join), tickers are stopped, dials have deadlines.
+package ctxleak_clean
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+)
+
+// Context-checked worker per iteration.
+func acceptLoop(ctx context.Context, handle func()) {
+	for {
+		go func() {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			handle()
+		}()
+	}
+}
+
+// Joinable workers: the WaitGroup registration is the stop evidence.
+func joinable(wg *sync.WaitGroup, work func()) {
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+}
+
+// A conventional done channel counts.
+func stoppableWorkers(stop chan struct{}, work func()) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					work()
+				}
+			}
+		}()
+	}
+}
+
+// Named same-package worker whose body blocks on ctx.Done: the
+// analyzer follows the call.
+func spawnNamed(ctx context.Context) {
+	for i := 0; i < 2; i++ {
+		go runWorker(ctx)
+	}
+}
+
+func runWorker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Ticker with a deferred Stop.
+func tickUntil(ctx context.Context, tick func()) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			tick()
+		}
+	}
+}
+
+// Returning the ticker hands the Stop obligation to the caller.
+func newWatch() *time.Ticker {
+	t := time.NewTicker(time.Second)
+	return t
+}
+
+// Dial with a deadline.
+func dial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
+}
+
+// A goroutine outside any loop is the caller's one-shot concern.
+func oneShot(work func()) {
+	go work()
+}

@@ -91,6 +91,6 @@ func dump(freq map[uint64]int64) {
 
 // Suppressed: the directive on the preceding line quiets the finding.
 func suppressedDraw() int {
-	//sketchlint:ignore detseed fixture exercising the suppression directive
+	//sketchlint:ignore detseed -- fixture exercising the suppression directive
 	return rand.Intn(10)
 }

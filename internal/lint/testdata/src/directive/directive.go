@@ -1,0 +1,49 @@
+// Fixture for the hardened suppression directive. Each function holds
+// one errctr finding (a sentinel == comparison); the directives show
+// which forms suppress it and which become findings themselves. This
+// fixture is exercised programmatically by TestIgnoreDirective rather
+// than through want comments, because a directive line is itself a
+// comment and cannot also carry a want expectation.
+package directive
+
+import "errors"
+
+var ErrBusy = errors.New("busy")
+
+// Suppressed: full form, on the line above the finding.
+func suppressedAbove(err error) bool {
+	//sketchlint:ignore errctr -- fixture: demonstrates a well-formed suppression
+	return err == ErrBusy
+}
+
+// Suppressed: full form, trailing the flagged line.
+func suppressedTrailing(err error) bool {
+	return err == ErrBusy //sketchlint:ignore errctr -- fixture: trailing placement also counts
+}
+
+// Reasonless: suppresses nothing, and the directive itself is a
+// finding.
+func reasonless(err error) bool {
+	//sketchlint:ignore errctr
+	return err == ErrBusy
+}
+
+// Bare: same.
+func bare(err error) bool {
+	//sketchlint:ignore
+	return err == ErrBusy
+}
+
+// A space after // is not the directive form Go tools use; it reads as
+// prose, so it must not silently suppress either.
+func spaced(err error) bool {
+	// sketchlint:ignore errctr -- close, but directives take no space after //
+	return err == ErrBusy
+}
+
+// Naming the wrong analyzer leaves the real finding standing (the
+// directive is well-formed, so it is not itself reported).
+func wrongName(err error) bool {
+	//sketchlint:ignore alloclen -- names an analyzer that never fires here
+	return err == ErrBusy
+}

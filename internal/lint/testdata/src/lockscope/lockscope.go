@@ -108,6 +108,6 @@ func (e *engine) ingest(v uint64, w int64) {
 func (e *engine) answerSuppressed() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	//sketchlint:ignore lockscope fixture exercising the suppression directive
+	//sketchlint:ignore lockscope -- fixture exercising the suppression directive
 	return core.EstimateJoin(e.left, e.right, e.domain)
 }

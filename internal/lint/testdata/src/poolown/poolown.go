@@ -1,0 +1,81 @@
+// Fixture for the poolown analyzer: sync.Pool ownership violations in
+// the style of the SKSP decode-buffer pool.
+package poolown
+
+import "sync"
+
+type frame struct {
+	buf    []byte
+	groups []int
+}
+
+var pool = sync.Pool{New: func() any { return new(frame) }}
+
+type server struct {
+	pool  sync.Pool
+	stash *frame
+	out   chan *frame
+}
+
+// Bad: reading a frame after returning it to the pool.
+func useAfterPut() int {
+	f := pool.Get().(*frame)
+	pool.Put(f)
+	return len(f.buf) // want `pool value f used after Put`
+}
+
+// Bad: double Put hands the same buffer to two goroutines.
+func doublePut() {
+	f := pool.Get().(*frame)
+	pool.Put(f)
+	pool.Put(f) // want `pool value f is Put again`
+}
+
+// Bad: an owned pool value captured by a goroutine outlives the
+// function's ownership scope.
+func escapeGoroutine() {
+	f := pool.Get().(*frame)
+	go func() { // want `pool value f escapes into a goroutine`
+		_ = f.buf
+	}()
+}
+
+// Bad: storing an owned pool value in a field escapes single-owner
+// tracking.
+func (s *server) stashIt() {
+	f := s.pool.Get().(*frame)
+	s.stash = f // want `pool value f is stored outside the function`
+}
+
+// Bad: sending an owned value on a channel hands it to an unknown
+// receiver.
+func (s *server) sendIt() {
+	f := s.pool.Get().(*frame)
+	s.out <- f // want `pool value f is sent on a channel`
+}
+
+// Bad: touching the frame after the release callback transferred
+// ownership — the callee may already have recycled it.
+func useAfterTransfer(ingest func([]int, func()) error) int {
+	f := pool.Get().(*frame)
+	_ = ingest(f.groups, func() { pool.Put(f) })
+	return len(f.buf) // want `pool value f used after ownership transfer`
+}
+
+// Bad: an unconditional Put after the transfer double-releases on the
+// success path (the callee owns the frame and will fire the release
+// itself).
+func putAfterSuccessfulTransfer(ingest func([]int, func()) error) {
+	f := pool.Get().(*frame)
+	_ = ingest(f.groups, func() { pool.Put(f) })
+	pool.Put(f) // want `pool value f is Put again`
+}
+
+// Bad: a second Put after a branch that already may have Put.
+func maybeDoublePut(cond bool) {
+	f := pool.Get().(*frame)
+	if cond {
+		pool.Put(f)
+	}
+	pool.Put(f) // want `pool value f is Put again`
+}

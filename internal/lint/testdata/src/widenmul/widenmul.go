@@ -44,6 +44,6 @@ func sumWiden(a, b int) int64 {
 
 // Suppressed: a justified narrow multiply stays quiet.
 func suppressed(a, b int) int64 {
-	//sketchlint:ignore widenmul a and b are bounded by small table dimensions
+	//sketchlint:ignore widenmul -- a and b are bounded by small table dimensions
 	return int64(a * b)
 }

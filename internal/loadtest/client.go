@@ -198,7 +198,7 @@ func (c *Client) WaitReady(ctx context.Context) error {
 			if err == nil {
 				err = fmt.Errorf("status %q", status.Status)
 			}
-			return fmt.Errorf("loadtest: server not ready: %w (last: %v)", ctx.Err(), err)
+			return fmt.Errorf("loadtest: server not ready: %w (last: %w)", ctx.Err(), err)
 		case <-time.After(50 * time.Millisecond):
 		}
 	}

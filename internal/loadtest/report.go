@@ -181,7 +181,7 @@ func (r *BenchReport) Validate() error {
 		return fmt.Errorf("bench: unknown kind %q", r.Kind)
 	}
 	if _, err := time.Parse(time.RFC3339, r.GeneratedAt); err != nil {
-		return fmt.Errorf("bench: bad generatedAt: %v", err)
+		return fmt.Errorf("bench: bad generatedAt: %w", err)
 	}
 	if r.ElapsedSeconds <= 0 {
 		return fmt.Errorf("bench: elapsedSeconds %v not positive", r.ElapsedSeconds)

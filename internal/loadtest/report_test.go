@@ -1,6 +1,7 @@
 package loadtest
 
 import (
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -126,5 +127,21 @@ func TestSummarizeLatencyUsesMergedHistogram(t *testing.T) {
 	merged := stats.MergeHistograms(&a, &b)
 	if SummarizeLatency(merged) != SummarizeLatency(&one) {
 		t.Fatal("merged summary differs from single-stream summary")
+	}
+}
+
+// TestValidateUnwrapsParseError: the generatedAt failure wraps the
+// time.Parse error with %w so callers can errors.As it.
+func TestValidateUnwrapsParseError(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	r := IngestReport(sampleResult(), now)
+	r.GeneratedAt = "yesterday"
+	err := r.Validate()
+	if err == nil {
+		t.Fatal("bad generatedAt accepted")
+	}
+	var pe *time.ParseError
+	if !errors.As(err, &pe) {
+		t.Errorf("error %q does not unwrap to *time.ParseError", err)
 	}
 }

@@ -314,6 +314,7 @@ func (c *Conn) reconnectLoop() {
 		c.mu.Unlock()
 		sort.Slice(replay, func(i, j int) bool { return replay[i].seq < replay[j].seq })
 
+		//sketchlint:ignore ctxleak -- readLoop exits when Close or connFailed closes nc: rd.Next then returns an error and the goroutine falls out; TestCloseUnblocksReadLoop pins this
 		go c.readLoop(rd, gen)
 		for _, p := range replay {
 			d := wire.Data{ClientID: c.opts.ClientID, Seq: p.seq, Tenant: p.tenant, Groups: p.groups}

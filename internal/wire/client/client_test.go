@@ -476,3 +476,41 @@ func TestBatcher(t *testing.T) {
 		t.Fatalf("reuse flush: %+v %v", out, err)
 	}
 }
+
+// TestCloseUnblocksReadLoop pins the liveness contract behind
+// reconnectLoop's ctxleak suppression: readLoop selects on no done
+// channel — it exits because Close (or a connFailed teardown) closes
+// the net.Conn, which errors the rd.Next it blocks in. If this test
+// hangs, that suppression is a lie.
+func TestCloseUnblocksReadLoop(t *testing.T) {
+	srv := newFakeServer(t, ackAll)
+	c := New(srv.addr(), Options{Backoff: fastBackoff()})
+
+	nc, rd, _, err := c.dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.nc = nc
+	gen := c.gen
+	c.mu.Unlock()
+
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		c.readLoop(rd, gen)
+	}()
+	select {
+	case <-exited:
+		t.Fatal("readLoop exited before Close")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+	case <-time.After(2 * time.Second):
+		t.Fatal("readLoop still blocked after Close")
+	}
+}

@@ -36,7 +36,7 @@ func ParseShape(spec string, domain uint64, seed int64) (Generator, error) {
 		}
 		s, err := strconv.ParseUint(val, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("workload: bad shift in %q: %v", spec, err)
+			return nil, fmt.Errorf("workload: bad shift in %q: %w", spec, err)
 		}
 		shift, hasShift = s, true
 	}
@@ -53,7 +53,7 @@ func ParseShape(spec string, domain uint64, seed int64) (Generator, error) {
 	case strings.HasPrefix(base, "zipf:"):
 		zv, err := strconv.ParseFloat(base[len("zipf:"):], 64)
 		if err != nil {
-			return nil, fmt.Errorf("workload: bad zipf skew in %q: %v", spec, err)
+			return nil, fmt.Errorf("workload: bad zipf skew in %q: %w", spec, err)
 		}
 		z, err := NewZipf(domain, zv, seed)
 		if err != nil {

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"errors"
+	"strconv"
 	"testing"
 )
 
@@ -82,5 +84,21 @@ func TestParseShapeErrors(t *testing.T) {
 	}
 	if _, err := ParseShape("uniform", 0, 1); err == nil {
 		t.Error("zero domain accepted")
+	}
+}
+
+// TestParseShapeErrorsUnwrap: the numeric-parse failures wrap the
+// strconv error with %w, so callers can errors.As to *strconv.NumError
+// and distinguish a typo from a range problem.
+func TestParseShapeErrorsUnwrap(t *testing.T) {
+	for _, spec := range []string{"zipf:x", "uniform+shift:x"} {
+		_, err := ParseShape(spec, 64, 1)
+		if err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+		var ne *strconv.NumError
+		if !errors.As(err, &ne) {
+			t.Errorf("spec %q: error %q does not unwrap to *strconv.NumError", spec, err)
+		}
 	}
 }
