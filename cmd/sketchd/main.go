@@ -30,6 +30,15 @@
 // replayed tail is bit-identical to uninterrupted ingestion. See
 // docs/OPERATIONS.md for the full lifecycle contract.
 //
+// Cluster mode (-role, docs/OPERATIONS.md "Cluster mode"): shards are
+// ordinary sketchds named in a static JSON membership file; a merger
+// (`-role=merger -cluster.config ring.json`) serves the same API,
+// hash-routing ingest across the ring (HTTP and SKSP both), keeping
+// registrations schema-uniform by broadcast, and answering global
+// /answer by pulling each shard's slim /sketch payload and merging
+// through sketch linearity. A dead shard degrades the answer (reported
+// shard coverage + widened confidence) instead of failing it.
+//
 // Every piece of state is scoped to a tenant namespace. The flat API
 // below operates on the "default" tenant, so single-tenant deployments
 // are unaffected; prefix any path with /t/{tenant}/ (or add ?tenant= /
@@ -53,6 +62,7 @@
 //	POST   /update      {"stream":"F","value":7,"weight":1}
 //	                    or a JSON array of such objects (batch)
 //	GET    /answer?query=q
+//	GET    /sketch?query=q  (slim SKSL cluster payload: both synopses + metadata)
 //	POST   /flush       (drain the ingest pipeline; shared, drains all tenants)
 //	GET    /healthz     (readiness: 200 serving, 503 draining)
 //	GET    /stats       (global + per-tenant; scoped: one tenant's slice)
@@ -83,6 +93,7 @@ import (
 	"time"
 
 	"skimsketch/internal/checkpoint"
+	"skimsketch/internal/cluster"
 	"skimsketch/internal/core"
 	"skimsketch/internal/engine"
 	"skimsketch/internal/monitor"
@@ -99,6 +110,11 @@ type options struct {
 	batch      int
 	queue      int
 	qworkers   int
+
+	role           string
+	clusterConfig  string
+	clusterEpoch   time.Duration
+	clusterTimeout time.Duration
 
 	tenantMaxWords   int
 	tenantMaxPending int64
@@ -125,6 +141,10 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.batch, "ingest.batch", 256, "max updates per queued ingest batch")
 	fs.IntVar(&o.queue, "ingest.queue", 64, "per-worker ingest queue capacity in batches")
 	fs.IntVar(&o.qworkers, "query.workers", 0, "estimation goroutines per /answer (0 or 1 = sequential, -1 = one per CPU); answers are bit-identical for every setting")
+	fs.StringVar(&o.role, "role", "single", "process role: single (standalone), shard (cluster member; same server, conventionally with -checkpoint.dir), or merger (routes ingest across -cluster.config shards and answers global joins)")
+	fs.StringVar(&o.clusterConfig, "cluster.config", "", "merger: path to the static JSON membership file {\"shards\":[{\"name\":...,\"addr\":\"http://...\"}]}")
+	fs.DurationVar(&o.clusterEpoch, "cluster.epoch", 0, "merger: pull-cache TTL — global answers younger than this are served without re-pulling shard sketches (0 = pull fresh every answer)")
+	fs.DurationVar(&o.clusterTimeout, "cluster.timeout", 5*time.Second, "merger: deadline on every cross-node call (routing, pulls, broadcasts)")
 	fs.IntVar(&o.tenantMaxWords, "tenant.max-synopsis-words", 0, "default per-tenant synopsis memory quota in sketch words (0 = unlimited); override per tenant via POST /tenants")
 	fs.Int64Var(&o.tenantMaxPending, "tenant.max-pending-updates", 0, "default per-tenant ingest queue-share quota in pending updates (0 = unlimited); override per tenant via POST /tenants")
 	fs.DurationVar(&o.watchInterval, "watch.interval", 0, "periodic standing-watch evaluation interval (0 = evaluate only via POST /watches/evaluate)")
@@ -155,12 +175,97 @@ func main() {
 	}
 }
 
-// run is the whole server lifecycle: build the engine, restore the
-// newest checkpoint, serve until ctx is canceled (the signal handler),
-// then shut down gracefully — stop the listener, drain in-flight
-// requests, drain and stop the ingest pipeline, write the final
-// checkpoint. A nil return is a clean exit (process status 0).
+// run dispatches on role: single and shard are the same standalone
+// server lifecycle (a shard IS a sketchd — the cluster layer above it
+// is schema broadcasts, hash-routed ingest, and /sketch pulls); merger
+// runs the stateless routing/merging tier from internal/cluster.
 func run(ctx context.Context, opts options, out io.Writer) error {
+	switch opts.role {
+	case "", "single", "shard":
+		return runNode(ctx, opts, out)
+	case "merger":
+		return runMerger(ctx, opts, out)
+	default:
+		return fmt.Errorf("unknown -role %q: want single, shard, or merger", opts.role)
+	}
+}
+
+// runMerger is the merger lifecycle: load the static membership ring,
+// serve the routing/merging API until ctx is canceled, then drain.
+// The merger holds no sketch state — shards own persistence — so its
+// shutdown is just a connection drain.
+func runMerger(ctx context.Context, opts options, out io.Writer) error {
+	if opts.clusterConfig == "" {
+		return errors.New("-role=merger requires -cluster.config")
+	}
+	cfg, err := cluster.LoadConfig(opts.clusterConfig)
+	if err != nil {
+		return err
+	}
+	m, err := cluster.NewMerger(cfg, cluster.MergerOptions{
+		Timeout: opts.clusterTimeout,
+		Epoch:   opts.clusterEpoch,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           m,
+		ReadHeaderTimeout: opts.readHeaderTimeout,
+		WriteTimeout:      opts.writeTimeout,
+		IdleTimeout:       opts.idleTimeout,
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sketchd merger listening on %s (%d shards, epoch %s, timeout %s)\n",
+		ln.Addr(), len(cfg.Shards), opts.clusterEpoch, opts.clusterTimeout)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// SKSP ingress: same binary protocol as a single node, frames
+	// hash-routed across the ring.
+	var fwd *cluster.StreamForwarder
+	streamErr := make(chan error, 1)
+	if opts.streamAddr != "" {
+		sln, err := net.Listen("tcp", opts.streamAddr)
+		if err != nil {
+			return err
+		}
+		fwd = cluster.NewStreamForwarder(m, sln)
+		fmt.Fprintf(out, "sketchd %s\n", fwd)
+		go func() { streamErr <- fwd.Serve() }()
+	}
+
+	select {
+	case err := <-serveErr:
+		return err
+	case err := <-streamErr:
+		return fmt.Errorf("sksp forwarder: %w", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "sketchd merger shutting down")
+	m.SetDraining()
+	shCtx, cancel := context.WithTimeout(context.Background(), opts.shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Print("sketchd: merger shutdown grace period expired: ", err)
+		httpSrv.Close()
+	}
+	<-serveErr
+	if fwd != nil {
+		fwd.Shutdown()
+	}
+	return nil
+}
+
+// runNode is the whole standalone/shard server lifecycle: build the
+// engine, restore the newest checkpoint, serve until ctx is canceled
+// (the signal handler), then shut down gracefully — stop the listener,
+// drain in-flight requests, drain and stop the ingest pipeline, write
+// the final checkpoint. A nil return is a clean exit (process status 0).
+func runNode(ctx context.Context, opts options, out io.Writer) error {
 	eng, err := engine.New(engine.Options{
 		SketchConfig: core.Config{Tables: opts.tables, Buckets: opts.buckets, Seed: opts.seed},
 		QueryWorkers: opts.qworkers,

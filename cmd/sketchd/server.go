@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skimsketch/internal/cluster"
 	"skimsketch/internal/engine"
 	"skimsketch/internal/monitor"
 	"skimsketch/internal/stats"
@@ -80,6 +81,7 @@ func newServer(eng *engine.Engine) *server {
 	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/flush", s.handleFlush)
 	s.mux.HandleFunc("/answer", s.handleAnswer)
+	s.mux.HandleFunc("/sketch", s.handleSketch)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/restore", s.handleRestore)
@@ -624,6 +626,49 @@ func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 			"denseCountG":  ans.Detail.DenseCountG,
 		},
 	})
+}
+
+// handleSketch serves one query's slim SKSL cluster payload — both
+// synopses plus the metadata a merger needs to estimate without asking
+// again (docs/FORMATS.md). This is the shard side of cluster mode: the
+// fat update-side state (hash families, pipeline, intern tables) stays
+// here, only the slim counters travel. The snapshot drains the ingest
+// pipeline first, so a payload reflects every previously accepted
+// update — which is what makes a healthy cluster answer bit-identical
+// to a single node's.
+func (s *server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	name := r.URL.Query().Get("query")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing ?query="))
+		return
+	}
+	t, _ := s.scope(r, "")
+	qs, err := t.QuerySketches(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	agg := cluster.AggCount
+	if qs.Agg == engine.Sum {
+		agg = cluster.AggSum
+	}
+	blob, err := cluster.EncodePayload(&cluster.Payload{
+		Agg: agg, Domain: qs.Domain,
+		LeftEpoch: qs.LeftEpoch, RightEpoch: qs.RightEpoch,
+		Left: qs.Left, Right: qs.Right,
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
 }
 
 // handleSnapshot serves the engine state (streams, queries, synopsis

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func threeShards() Config {
+	return Config{Shards: []Shard{
+		{Name: "s0", Addr: "http://127.0.0.1:9101"},
+		{Name: "s1", Addr: "http://127.0.0.1:9102"},
+		{Name: "s2", Addr: "http://127.0.0.1:9103"},
+	}}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := threeShards().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"empty", Config{}},
+		{"no name", Config{Shards: []Shard{{Addr: "http://x:1"}}}},
+		{"dup name", Config{Shards: []Shard{
+			{Name: "a", Addr: "http://x:1"}, {Name: "a", Addr: "http://x:2"},
+		}}},
+		{"dup addr", Config{Shards: []Shard{
+			{Name: "a", Addr: "http://x:1"}, {Name: "b", Addr: "http://x:1/"},
+		}}},
+		{"relative addr", Config{Shards: []Shard{{Name: "a", Addr: "x:1"}}}},
+		{"bad scheme", Config{Shards: []Shard{{Name: "a", Addr: "tcp://x:1"}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid config", tc.name)
+		}
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ring.json")
+	body := `{"shards":[{"name":"s0","addr":"http://127.0.0.1:9101"},{"name":"s1","addr":"http://127.0.0.1:9102"}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Shards) != 2 || cfg.Shards[1].Name != "s1" {
+		t.Fatalf("loaded %+v", cfg)
+	}
+	// Unknown fields fail loudly: a typo must not silently shrink the ring.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"shard":[{"name":"s0","addr":"http://x:1"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil {
+		t.Fatal("LoadConfig accepted a config with an unknown top-level key")
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("LoadConfig accepted a missing file")
+	}
+}
+
+// TestRouteDeterministicAndPartitioning: routing is a pure function of
+// (tenant, stream, value) — every process computes the same placement —
+// and spreads a value domain over every shard (no starved shard).
+func TestRouteDeterministicAndPartitioning(t *testing.T) {
+	cfg := threeShards()
+	hits := make([]int, len(cfg.Shards))
+	for v := uint64(0); v < 3000; v++ {
+		si := cfg.Route("default", "F", v)
+		if again := cfg.Route("default", "F", v); again != si {
+			t.Fatalf("Route not deterministic for value %d: %d then %d", v, si, again)
+		}
+		if si < 0 || si >= len(cfg.Shards) {
+			t.Fatalf("Route out of range: %d", si)
+		}
+		hits[si]++
+	}
+	for i, h := range hits {
+		if h == 0 {
+			t.Fatalf("shard %d received no values out of 3000", i)
+		}
+	}
+	// Tenant and stream both separate the placement keyspace.
+	diff := 0
+	for v := uint64(0); v < 100; v++ {
+		if cfg.Route("a", "F", v) != cfg.Route("b", "F", v) {
+			diff++
+		}
+		if cfg.Route("a", "F", v) != cfg.Route("a", "G", v) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("tenant/stream do not participate in routing")
+	}
+	// Length-prefixing: ("ab","c") and ("a","bc") must not be forced to
+	// collide by concatenation.
+	collide := true
+	for v := uint64(0); v < 100; v++ {
+		if cfg.Route("ab", "c", v) != cfg.Route("a", "bc", v) {
+			collide = false
+			break
+		}
+	}
+	if collide {
+		t.Fatal("routing concatenates names without length prefixes")
+	}
+}

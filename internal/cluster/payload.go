@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"skimsketch/internal/core"
+)
+
+// The SKSL ("SKimmed Sketch sLim payload") format is what a shard ships
+// to the merger tier: the query-side view of one registered join — both
+// sides' synopses plus the metadata the merger needs to estimate
+// without consulting the shard again. It is the fat/slim split from
+// SF-sketch applied at the cluster boundary: shards keep their fat
+// update-side state (hash families, intern tables, ingest pipeline) and
+// serialize only the slim counters.
+//
+// Layout (little-endian), after the 4-byte magic "SKSL":
+//
+//	u32  version (currently 1)
+//	u8   aggregate (0 = COUNT, 1 = SUM)
+//	u64  join value domain
+//	u64  left update epoch   (updates folded into the left synopsis)
+//	u64  right update epoch
+//	u32  left blob length,  then that many bytes of SKHS sketch
+//	u32  right blob length, then that many bytes of SKHS sketch
+//
+// The embedded SKHS blobs are the sketch format from docs/FORMATS.md
+// and carry their own validation (magic, version, dimensions vs size).
+
+// Aggregate codes on the SKSL wire. They deliberately mirror the
+// engine's Aggregate ordering but are pinned here independently: the
+// wire format must not drift if the engine enum is ever reordered.
+const (
+	AggCount uint8 = 0
+	AggSum   uint8 = 1
+)
+
+var payloadMagic = [4]byte{'S', 'K', 'S', 'L'}
+
+const payloadVersion = 1
+
+// payloadFixedLen is the byte length of everything except the two
+// variable-length sketch blobs.
+const payloadFixedLen = 4 + 4 + 1 + 8 + 8 + 8 + 4 + 4
+
+// Payload is one query's slim cluster payload: the decoded form of an
+// SKSL blob.
+type Payload struct {
+	// Agg is the aggregate code (AggCount or AggSum).
+	Agg uint8
+	// Domain is the join's value domain [0, Domain).
+	Domain uint64
+	// LeftEpoch and RightEpoch count the updates folded into each side
+	// when the payload was cut — the merger's staleness signal.
+	LeftEpoch, RightEpoch uint64
+	// Left and Right are the two synopses.
+	Left, Right *core.HashSketch
+}
+
+// EncodePayload serializes p as an SKSL blob.
+func EncodePayload(p *Payload) ([]byte, error) {
+	if p == nil || p.Left == nil || p.Right == nil {
+		return nil, fmt.Errorf("cluster: payload needs both sketches")
+	}
+	if p.Agg != AggCount && p.Agg != AggSum {
+		return nil, fmt.Errorf("cluster: unknown aggregate code %d", p.Agg)
+	}
+	left, err := p.Left.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: marshal left sketch: %w", err)
+	}
+	right, err := p.Right.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: marshal right sketch: %w", err)
+	}
+	buf := make([]byte, 0, payloadFixedLen+len(left)+len(right))
+	buf = append(buf, payloadMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, payloadVersion)
+	buf = append(buf, p.Agg)
+	buf = binary.LittleEndian.AppendUint64(buf, p.Domain)
+	buf = binary.LittleEndian.AppendUint64(buf, p.LeftEpoch)
+	buf = binary.LittleEndian.AppendUint64(buf, p.RightEpoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(left)))
+	buf = append(buf, left...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(right)))
+	buf = append(buf, right...)
+	return buf, nil
+}
+
+// DecodePayload parses an SKSL blob. Every declared length is bounded
+// by the bytes actually present before it is used — payloads arrive
+// over the network, so a hostile header must not be able to demand
+// memory the blob never shipped (the same validate-before-alloc
+// discipline as every other decoder in this repository).
+func DecodePayload(data []byte) (*Payload, error) {
+	if len(data) < payloadFixedLen {
+		return nil, fmt.Errorf("cluster: payload truncated (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != payloadMagic {
+		return nil, fmt.Errorf("cluster: bad payload magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != payloadVersion {
+		return nil, fmt.Errorf("cluster: unsupported payload version %d", v)
+	}
+	p := &Payload{
+		Agg:        data[8],
+		Domain:     binary.LittleEndian.Uint64(data[9:17]),
+		LeftEpoch:  binary.LittleEndian.Uint64(data[17:25]),
+		RightEpoch: binary.LittleEndian.Uint64(data[25:33]),
+	}
+	if p.Agg != AggCount && p.Agg != AggSum {
+		return nil, fmt.Errorf("cluster: unknown aggregate code %d", p.Agg)
+	}
+	rest := data[33:]
+	left, rest, err := cutBlob(rest, "left")
+	if err != nil {
+		return nil, err
+	}
+	right, rest, err := cutBlob(rest, "right")
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after payload", len(rest))
+	}
+	p.Left = new(core.HashSketch)
+	if err := p.Left.UnmarshalBinary(left); err != nil {
+		return nil, fmt.Errorf("cluster: left sketch: %w", err)
+	}
+	p.Right = new(core.HashSketch)
+	if err := p.Right.UnmarshalBinary(right); err != nil {
+		return nil, fmt.Errorf("cluster: right sketch: %w", err)
+	}
+	return p, nil
+}
+
+// cutBlob splits one u32-length-prefixed blob off the front of data.
+// The declared length is checked against the bytes present; the blob
+// aliases data (no copy), which is safe because DecodePayload hands it
+// straight to UnmarshalBinary.
+func cutBlob(data []byte, side string) (blob, rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("cluster: payload truncated before %s sketch length", side)
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if uint64(n) > uint64(len(data)-4) {
+		return nil, nil, fmt.Errorf("cluster: %s sketch declares %d bytes but only %d remain", side, n, len(data)-4)
+	}
+	return data[4 : 4+n], data[4+n:], nil
+}

@@ -116,15 +116,20 @@ func (in *Ingestor) Workers() int { return len(in.shards) }
 
 // Merge combines compatible sketches (local shards or sketches shipped
 // from remote sites) into a fresh synopsis of the union of their
-// streams. The inputs are not modified.
+// streams. The inputs are never modified, even on error: merging happens
+// in a private clone, so a mismatched sketch (different tables, buckets
+// or seed) yields an error naming its position and leaves every input —
+// and any synopsis the caller might have derived from an earlier call —
+// untouched. Zero sketches is an error, not an empty synopsis: the
+// caller cannot know a usable Config for one.
 func Merge(sketches ...*core.HashSketch) (*core.HashSketch, error) {
 	if len(sketches) == 0 {
 		return nil, fmt.Errorf("distributed: nothing to merge")
 	}
 	out := sketches[0].Clone()
-	for _, sk := range sketches[1:] {
+	for i, sk := range sketches[1:] {
 		if err := out.Combine(sk); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("distributed: merge sketch %d of %d: %w", i+2, len(sketches), err)
 		}
 	}
 	return out, nil

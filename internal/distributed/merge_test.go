@@ -1,0 +1,127 @@
+package distributed
+
+import (
+	"strings"
+	"testing"
+
+	"skimsketch/internal/core"
+)
+
+// These tests pin the Merge error contract the merger tier leans on:
+// zero sketches and mismatched configurations must ERROR — never return
+// a silently corrupt synopsis — and a failed Merge must leave every
+// input bit-identical to before the call.
+
+func TestMergeZeroSketchesErrors(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Fatal("Merge() of nothing must error, not fabricate a synopsis")
+	}
+}
+
+func mustBlob(t *testing.T, sk *core.HashSketch) string {
+	t.Helper()
+	b, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestMergeMismatchedConfigErrors(t *testing.T) {
+	base := cfg(5, 64, 3)
+	mk := func(c core.Config, vals ...uint64) *core.HashSketch {
+		sk := core.MustNewHashSketch(c)
+		for _, v := range vals {
+			sk.Update(v, 1)
+		}
+		return sk
+	}
+	cases := []struct {
+		name  string
+		other core.Config
+	}{
+		{"different tables", core.Config{Tables: 7, Buckets: 64, Seed: 3}},
+		{"different buckets", core.Config{Tables: 5, Buckets: 32, Seed: 3}},
+		{"different seed", core.Config{Tables: 5, Buckets: 64, Seed: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b, c := mk(base, 1, 2), mk(tc.other, 3), mk(base, 4)
+			aBlob, bBlob, cBlob := mustBlob(t, a), mustBlob(t, b), mustBlob(t, c)
+			out, err := Merge(a, b, c)
+			if err == nil {
+				t.Fatal("mismatched config must error")
+			}
+			if out != nil {
+				t.Fatal("a failed Merge must not return a sketch")
+			}
+			// The error names the offending input's position (1-based).
+			if !strings.Contains(err.Error(), "sketch 2 of 3") {
+				t.Fatalf("error does not name the mismatched input: %v", err)
+			}
+			// No input was modified — the merge happened in a private clone.
+			if mustBlob(t, a) != aBlob || mustBlob(t, b) != bBlob || mustBlob(t, c) != cBlob {
+				t.Fatal("Merge modified an input on the error path")
+			}
+		})
+	}
+}
+
+// TestMergeLastMismatchDiscardsPartial: when the incompatible sketch is
+// the LAST input, earlier inputs have already been folded into the
+// private clone; the error must still discard everything.
+func TestMergeLastMismatchDiscardsPartial(t *testing.T) {
+	base := cfg(5, 64, 3)
+	a := core.MustNewHashSketch(base)
+	b := core.MustNewHashSketch(base)
+	a.Update(1, 1)
+	b.Update(2, 1)
+	odd := core.MustNewHashSketch(core.Config{Tables: 3, Buckets: 64, Seed: 3})
+	aBlob, bBlob := mustBlob(t, a), mustBlob(t, b)
+	out, err := Merge(a, b, odd)
+	if err == nil || out != nil {
+		t.Fatalf("Merge = (%v, %v), want (nil, error)", out, err)
+	}
+	if !strings.Contains(err.Error(), "sketch 3 of 3") {
+		t.Fatalf("error does not name the mismatched input: %v", err)
+	}
+	if mustBlob(t, a) != aBlob || mustBlob(t, b) != bBlob {
+		t.Fatal("Merge modified an input on the late-error path")
+	}
+}
+
+// TestMergeSingleAndLinear: Merge of one sketch is a private clone, and
+// Merge of k partitions is bit-identical to one sketch over the
+// concatenated stream — the linearity the cluster answers rest on.
+func TestMergeSingleAndLinear(t *testing.T) {
+	c := cfg(5, 64, 9)
+	whole := core.MustNewHashSketch(c)
+	parts := make([]*core.HashSketch, 3)
+	for i := range parts {
+		parts[i] = core.MustNewHashSketch(c)
+	}
+	for v := uint64(0); v < 300; v++ {
+		w := int64(1 + v%5)
+		whole.Update(v, w)
+		parts[v%3].Update(v, w)
+	}
+
+	one, err := Merge(parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one == parts[0] {
+		t.Fatal("Merge of one sketch must clone, not alias")
+	}
+	if mustBlob(t, one) != mustBlob(t, parts[0]) {
+		t.Fatal("clone differs from its source")
+	}
+
+	merged, err := Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustBlob(t, merged) != mustBlob(t, whole) {
+		t.Fatal("merged partitions differ from the serially maintained sketch")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"strconv"
 	"time"
 
 	"skimsketch/internal/core"
@@ -95,11 +97,90 @@ func (b Backoff) Delay(attempt int) time.Duration {
 	return time.Duration(d)
 }
 
+// MaxRetryAfter caps how long a server's Retry-After hint can stall a
+// retry loop: a misconfigured (or adversarial) hint of an hour must not
+// wedge a shipper whose own backoff tops out in seconds.
+const MaxRetryAfter = 30 * time.Second
+
+// RetryAfterError marks a retryable failure that carries the server's
+// Retry-After hint (a 429 or 503 with the header). Backoff.Retry floors
+// its next delay by the hint, so a crowd of sites told "retry after 2s"
+// waits at least that long — while the exponential growth and jitter
+// still apply on top, decorrelating the retry storm. Wrap the underlying
+// failure in Err; errors.Is/As see through it.
+type RetryAfterError struct {
+	// After is the server's requested pause before the next attempt.
+	After time.Duration
+	// Err is the underlying failure, if any.
+	Err error
+}
+
+func (e *RetryAfterError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("retryable after %v: %v", e.After, e.Err)
+	}
+	return fmt.Sprintf("retryable after %v", e.After)
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// ParseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds ("120") or an HTTP-date ("Fri, 08 Aug 2026 17:00:00
+// GMT", evaluated against now). Unparseable, missing, or already-past
+// hints yield 0 (pure Backoff pacing); the result is capped at
+// MaxRetryAfter. Senders that only understood delay-seconds silently
+// turned a date hint into an immediate hammer-retry, which is exactly
+// backwards under overload.
+func ParseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if when, err := http.ParseTime(v); err == nil {
+		d = when.Sub(now)
+	} else {
+		return 0
+	}
+	if d < 0 {
+		return 0
+	}
+	if d > MaxRetryAfter {
+		d = MaxRetryAfter
+	}
+	return d
+}
+
+// delayAfter computes the sleep before the next try given the failure of
+// retry number attempt (0-based): the policy's jittered-exponential
+// delay, floored by the failure's Retry-After hint (capped at
+// MaxRetryAfter) when it carries one.
+func (b Backoff) delayAfter(attempt int, last error) time.Duration {
+	d := b.Delay(attempt)
+	var ra *RetryAfterError
+	if errors.As(last, &ra) {
+		hint := ra.After
+		if hint > MaxRetryAfter {
+			hint = MaxRetryAfter
+		}
+		if hint > d {
+			d = hint
+		}
+	}
+	return d
+}
+
 // Retry runs f until it succeeds, the attempt budget is spent, or ctx is
 // done, sleeping the policy's jittered-exponential delay between tries.
-// f receives ctx and should abort promptly when it is canceled. The
-// returned error is nil on success; on a canceled context it wraps both
-// the context error and f's last error (either matches errors.Is).
+// f receives ctx and should abort promptly when it is canceled. A
+// failure wrapping RetryAfterError floors the next delay by the server's
+// hint. The returned error is nil on success; on a canceled context it
+// wraps both the context error and f's last error (either matches
+// errors.Is).
 func (b Backoff) Retry(ctx context.Context, f func(context.Context) error) error {
 	if f == nil {
 		return errors.New("distributed: Retry requires a function")
@@ -115,7 +196,7 @@ func (b Backoff) Retry(ctx context.Context, f func(context.Context) error) error
 		if b.Attempts > 0 && attempt+1 >= b.Attempts {
 			return fmt.Errorf("distributed: giving up after %d attempts: %w", attempt+1, last)
 		}
-		t := time.NewTimer(b.Delay(attempt))
+		t := time.NewTimer(b.delayAfter(attempt, last))
 		select {
 		case <-ctx.Done():
 			t.Stop()

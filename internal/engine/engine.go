@@ -505,6 +505,52 @@ func (e *Engine) answerTenant(tenant, name string) (Answer, error) {
 	return ans, nil
 }
 
+// QuerySnapshot is a quiesce-consistent view of one query's synopsis
+// pair, cloned out of the engine for shipping: the slim, query-side
+// state a cluster shard exports to the merger tier (SF-sketch's
+// fat/slim split — the fat update-side synopsis stays here, the slim
+// linear summary travels). Because sketches are linear, merging the
+// Left (resp. Right) snapshots of the same query from every shard
+// yields exactly the synopsis a single node would have maintained over
+// the union of their streams.
+type QuerySnapshot struct {
+	Query  string
+	Agg    Aggregate
+	Domain uint64
+	// Left and Right are private clones; mutating them never touches the
+	// live synopses.
+	Left, Right *core.HashSketch
+	// LeftEpoch/RightEpoch are the synopses' update epochs at snapshot
+	// time — a cheap staleness token for pullers (an unchanged epoch pair
+	// means an unchanged answer).
+	LeftEpoch, RightEpoch uint64
+}
+
+// QuerySketches snapshots a query's two synopsis sketches. Like Answer
+// it drains the ingestion pipeline first and holds the quiesce lock only
+// for the clone, so a slow puller never stalls ingestion. Windowed sides
+// are rolled up via the window's Combined sketch.
+func (t *Tenant) QuerySketches(name string) (QuerySnapshot, error) {
+	e := t.e
+	release := e.readQuiesce()
+	q, ok := e.queries[nsKey{t.name, name}]
+	if !ok {
+		release()
+		return QuerySnapshot{}, fmt.Errorf("engine: unknown query %q", name)
+	}
+	qs := QuerySnapshot{
+		Query:      name,
+		Agg:        q.spec.Agg,
+		Domain:     q.domain,
+		LeftEpoch:  q.left.epoch,
+		RightEpoch: q.right.epoch,
+		Left:       q.left.snapshot(),
+		Right:      q.right.snapshot(),
+	}
+	release()
+	return qs, nil
+}
+
 // Stats summarizes the engine state across every tenant.
 type Stats struct {
 	Streams      int

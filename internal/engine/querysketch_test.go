@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"testing"
+
+	"skimsketch/internal/core"
+	"skimsketch/internal/distributed"
+	"skimsketch/internal/stream"
+)
+
+func newSketchTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(Options{SketchConfig: core.Config{Tables: 5, Buckets: 128, Seed: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeclareStream("F", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeclareStream("G", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterQuery(QuerySpec{Name: "q", Agg: Count, Left: Side{Stream: "F"}, Right: Side{Stream: "G"}}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func blob(t *testing.T, sk *core.HashSketch) string {
+	t.Helper()
+	b, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestQuerySketchesSnapshotIsPrivate(t *testing.T) {
+	e := newSketchTestEngine(t)
+	for v := uint64(0); v < 100; v++ {
+		if err := e.Update("F", v, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Update("G", v%10, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn := e.Tenant(DefaultTenant)
+	qs, err := tn.QuerySketches("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Agg != Count || qs.Domain != 1024 || qs.Query != "q" {
+		t.Fatalf("snapshot metadata wrong: %+v", qs)
+	}
+	if qs.LeftEpoch != 100 || qs.RightEpoch != 100 {
+		t.Fatalf("epochs = %d/%d, want 100/100", qs.LeftEpoch, qs.RightEpoch)
+	}
+	before, err := tn.Answer("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the snapshot; the live synopses (and answers) must not move.
+	qs.Left.Update(7, 1000)
+	qs.Right.Update(7, 1000)
+	after, err := tn.Answer("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Estimate != after.Estimate {
+		t.Fatal("mutating a QuerySketches snapshot changed the live answer")
+	}
+
+	if _, err := tn.QuerySketches("nope"); err == nil {
+		t.Fatal("unknown query must error")
+	}
+}
+
+// TestQuerySketchesMergeAcrossEngines is the cluster linearity property
+// end to end at the engine layer: value-partition one workload across 3
+// engines, merge their per-side snapshots, and the estimate over the
+// merged pair must equal a single engine's answer over the whole
+// workload exactly.
+func TestQuerySketchesMergeAcrossEngines(t *testing.T) {
+	whole := newSketchTestEngine(t)
+	parts := []*Engine{newSketchTestEngine(t), newSketchTestEngine(t), newSketchTestEngine(t)}
+	feed := func(streamName string, v uint64, w int64) {
+		if err := whole.Update(streamName, v, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := parts[v%3].Update(streamName, v, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := uint64(0); v < 600; v++ {
+		feed("F", v%512, 1)
+		feed("G", (v*7)%512, int64(1+v%3))
+	}
+
+	var lefts, rights []*core.HashSketch
+	for _, p := range parts {
+		qs, err := p.Tenant(DefaultTenant).QuerySketches("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lefts = append(lefts, qs.Left)
+		rights = append(rights, qs.Right)
+	}
+	mergedL, err := distributed.Merge(lefts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedR, err := distributed.Merge(rights...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wq, err := whole.Tenant(DefaultTenant).QuerySketches("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob(t, mergedL) != blob(t, wq.Left) || blob(t, mergedR) != blob(t, wq.Right) {
+		t.Fatal("merged shard snapshots are not bit-identical to the single-engine synopses")
+	}
+
+	est, err := core.EstimateJoin(mergedL, mergedR, wq.Domain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := whole.Answer("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total != ans.Estimate {
+		t.Fatalf("merged estimate %d != single-engine estimate %d", est.Total, ans.Estimate)
+	}
+}
+
+// TestQuerySketchesDrainsPipeline: with the concurrent pipeline running,
+// a snapshot must reflect every batch enqueued before the call.
+func TestQuerySketchesDrainsPipeline(t *testing.T) {
+	e := newSketchTestEngine(t)
+	if err := e.StartIngest(IngestConfig{Workers: 2, BatchSize: 8, QueueDepth: 4}); err != nil {
+		t.Fatal(err)
+	}
+	defer e.StopIngest()
+	batch := make([]stream.Update, 50)
+	for v := range batch {
+		batch[v] = stream.Update{Value: uint64(v), Weight: 1}
+	}
+	if err := e.IngestBatch("F", batch); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := e.Tenant(DefaultTenant).QuerySketches("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.LeftEpoch != 50 {
+		t.Fatalf("left epoch %d, want 50 (pipeline not drained before snapshot)", qs.LeftEpoch)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -48,7 +49,10 @@ type Client struct {
 	// /t/{tenant}/ path prefix; empty uses the flat (default-tenant) API,
 	// byte-identical to the pre-tenant client.
 	Tenant string
-	// HTTP is the underlying client; nil uses http.DefaultClient.
+	// HTTP is the underlying client; nil uses the package's default
+	// client, which — unlike http.DefaultClient — carries connect and
+	// whole-request timeouts so a hung sketchd fails the request instead
+	// of wedging the harness forever.
 	HTTP *http.Client
 	// Backoff paces 429 retries. The zero value is the distributed
 	// package's default jittered-exponential policy; the Retry-After
@@ -91,11 +95,39 @@ func (s *IdemSource) Next() string {
 	return s.clientID + ":" + strconv.FormatUint(s.seq.Add(1), 10)
 }
 
+// defaultRequestTimeout bounds one whole HTTP exchange (dial through
+// body read) on the default client. It is comfortably above the slowest
+// expected /answer and the 30s Retry-After cap does not pass through it
+// (the retry loop sleeps BETWEEN requests, outside this budget).
+const defaultRequestTimeout = 60 * time.Second
+
+// newDefaultHTTPClient builds the harness's default transport: explicit
+// connect, header and whole-request deadlines. The old fallback was
+// http.DefaultClient, which has NO timeout of any kind — one sketchd
+// that accepted a connection and then hung (wedged worker, stopped
+// process under SIGSTOP, dead NAT entry) blocked a harness worker
+// forever and with it the whole run's shutdown join.
+func newDefaultHTTPClient(requestTimeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: requestTimeout,
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			ResponseHeaderTimeout: requestTimeout,
+			MaxIdleConnsPerHost:   64,
+			IdleConnTimeout:       90 * time.Second,
+		},
+	}
+}
+
+// defaultHTTPClient is shared by every Client with a nil HTTP field so
+// connection pools are reused across tenant-scoped copies.
+var defaultHTTPClient = newDefaultHTTPClient(defaultRequestTimeout)
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 // ForTenant returns a copy of the client scoped to one tenant (sharing
@@ -302,37 +334,15 @@ func (e *permanentError) Unwrap() error { return e.err }
 // maxRetryAfter caps how long a server hint can stall a worker: a
 // misconfigured (or adversarial) Retry-After of an hour must not wedge
 // the harness, whose own backoff tops out in seconds.
-const maxRetryAfter = 30 * time.Second
+const maxRetryAfter = distributed.MaxRetryAfter
 
-// parseRetryAfter reads a Retry-After hint in either RFC 9110 form:
-// delay-seconds ("120") or an HTTP-date ("Fri, 08 Aug 2026 17:00:00
-// GMT", evaluated against now). Unparseable, missing, or already-past
-// hints yield 0 (pure Backoff pacing); the result is capped at
-// maxRetryAfter. The old parser silently dropped HTTP-date hints to 0,
-// which turned a server asking for a pause into an immediate
-// hammer-retry.
+// parseRetryAfter reads a Retry-After hint in either RFC 9110 form —
+// delay-seconds ("120") or an HTTP-date, evaluated against now — capped
+// at maxRetryAfter. The parsing lives in the distributed package now so
+// the harness, the wire client, and the cluster merger all read the
+// header identically.
 func parseRetryAfter(v string, now time.Time) time.Duration {
-	if v == "" {
-		return 0
-	}
-	var d time.Duration
-	if secs, err := strconv.Atoi(v); err == nil {
-		if secs < 0 {
-			return 0
-		}
-		d = time.Duration(secs) * time.Second
-	} else if when, err := http.ParseTime(v); err == nil {
-		d = when.Sub(now)
-	} else {
-		return 0
-	}
-	if d < 0 {
-		return 0
-	}
-	if d > maxRetryAfter {
-		d = maxRetryAfter
-	}
-	return d
+	return distributed.ParseRetryAfter(v, now)
 }
 
 // retryWithHint extends distributed.Backoff's jittered-exponential

@@ -1,0 +1,74 @@
+package loadtest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestDefaultClientHasTimeouts is the configuration half of the
+// hung-server regression: a Client with a nil HTTP field must NOT fall
+// back to http.DefaultClient (which has no timeout of any kind).
+func TestDefaultClientHasTimeouts(t *testing.T) {
+	c := &Client{BaseURL: "http://example.invalid"}
+	hc := c.httpClient()
+	if hc == http.DefaultClient {
+		t.Fatal("nil Client.HTTP fell back to http.DefaultClient, which never times out")
+	}
+	if hc.Timeout <= 0 {
+		t.Fatalf("default client Timeout = %v, want > 0", hc.Timeout)
+	}
+	tr, ok := hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport is %T, want *http.Transport with explicit deadlines", hc.Transport)
+	}
+	if tr.ResponseHeaderTimeout <= 0 {
+		t.Fatalf("ResponseHeaderTimeout = %v, want > 0", tr.ResponseHeaderTimeout)
+	}
+	if tr.DialContext == nil {
+		t.Fatal("default transport has no DialContext with a connect timeout")
+	}
+	// Explicitly configured clients are untouched.
+	own := &http.Client{}
+	if (&Client{HTTP: own}).httpClient() != own {
+		t.Fatal("an explicit HTTP client was not used")
+	}
+}
+
+// TestDefaultClientUnwedgesFromStallingServer is the behavioral half: a
+// server that accepts the request and then never responds must fail the
+// call once the (here: shortened) default-shaped client times out,
+// instead of blocking the worker forever — which is exactly what the
+// old http.DefaultClient fallback did.
+func TestDefaultClientUnwedgesFromStallingServer(t *testing.T) {
+	// Hold the response until the test ends or the (timed-out) client
+	// hangs up. The handler must observe the disconnect: srv.Close
+	// blocks until every in-flight handler returns, so a bare <-stall
+	// would deadlock the shutdown it is deferred after.
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-stall:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(stall) // LIFO: unblock any straggler before srv.Close waits
+
+	c := &Client{BaseURL: srv.URL, HTTP: newDefaultHTTPClient(100 * time.Millisecond)}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Stats(context.Background())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("request against a stalled server returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request wedged on a stalled server; client timeout did not fire")
+	}
+}
